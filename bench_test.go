@@ -1,0 +1,309 @@
+// Benchmark harness: one benchmark per table/figure of the paper, plus
+// ablation benches for the design choices called out in DESIGN.md §7.
+//
+// These benches report *experiment* metrics (fps, dmr, pivot) through
+// b.ReportMetric alongside the usual ns/op, so a single
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every figure's headline numbers. Full-resolution sweeps (all
+// task counts, 10 s horizons) are produced by cmd/sgprs-sweep; the benches
+// use shorter horizons and the load levels where the paper's claims live.
+package sgprs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sgprs"
+	"sgprs/internal/core"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/profile"
+	"sgprs/internal/speedup"
+)
+
+// benchCounts are the sweep points the benches sample: the linear ramp, the
+// paper's pivot region (23-25), and deep overload.
+var benchCounts = []int{8, 16, 23, 25, 28, 30}
+
+const benchHorizon = 3 // simulated seconds per sweep point
+
+// sweepVariant runs one scheduler variant over benchCounts and reports the
+// figure metrics.
+func sweepVariant(b *testing.B, scenario int, v sgprs.RunConfig, reportDMR bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		series, err := sgprs.SweepSeries(v, benchCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if reportDMR {
+			b.ReportMetric(series[len(series)-1].Summary.DMR, "dmr@30tasks")
+			b.ReportMetric(series[2].Summary.DMR, "dmr@23tasks")
+		} else {
+			b.ReportMetric(sgprs.SaturationFPS(series), "sat_fps")
+			b.ReportMetric(series[len(series)-1].Summary.TotalFPS, "fps@30tasks")
+			b.ReportMetric(float64(sgprs.PivotPoint(series)), "pivot_tasks")
+		}
+	}
+}
+
+// scenarioVariants builds the paper's four per-scenario configurations.
+func scenarioVariants(scenario int) []sgprs.RunConfig {
+	np := 2
+	if scenario == 2 {
+		np = 3
+	}
+	mk := func(kind sgprs.Kind, name string, os float64) sgprs.RunConfig {
+		return sgprs.RunConfig{
+			Kind:       kind,
+			Name:       name,
+			ContextSMs: sgprs.ContextPool(np, os, 68),
+			NumTasks:   1,
+			HorizonSec: benchHorizon,
+			Seed:       1,
+		}
+	}
+	return []sgprs.RunConfig{
+		mk(sgprs.KindNaive, "naive", 1.0),
+		mk(sgprs.KindSGPRS, "sgprs-1.0x", 1.0),
+		mk(sgprs.KindSGPRS, "sgprs-1.5x", 1.5),
+		mk(sgprs.KindSGPRS, "sgprs-2.0x", 2.0),
+	}
+}
+
+// BenchmarkFig1SpeedupGain regenerates Figure 1: per-operation speedup gain
+// measured in isolation on the simulated device, at the full 68 SMs and at
+// the half-device point.
+func BenchmarkFig1SpeedupGain(b *testing.B) {
+	prof := profile.New(speedup.DefaultModel(), gpu.DefaultConfig())
+	for _, cl := range speedup.Classes() {
+		cl := cl
+		b.Run(cl.String(), func(b *testing.B) {
+			var g68, g34 float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				g68, err = prof.OperationGain(cl, 50, 68)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g34, err = prof.OperationGain(cl, 50, 34)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(g68, "gain@68sm")
+			b.ReportMetric(g34, "gain@34sm")
+		})
+	}
+	b.Run("resnet18", func(b *testing.B) {
+		g := dnn.ResNet18(dnn.DefaultCostModel())
+		var gain float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			gain, err = prof.NetworkGain(g, 68)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(gain, "gain@68sm")
+	})
+}
+
+// BenchmarkFig3aTotalFPS regenerates Figure 3a: total FPS vs task count in
+// Scenario 1 (two contexts).
+func BenchmarkFig3aTotalFPS(b *testing.B) {
+	for _, v := range scenarioVariants(1) {
+		v := v
+		b.Run(v.Name, func(b *testing.B) { sweepVariant(b, 1, v, false) })
+	}
+}
+
+// BenchmarkFig3bDMR regenerates Figure 3b: deadline miss rate vs task count
+// in Scenario 1.
+func BenchmarkFig3bDMR(b *testing.B) {
+	for _, v := range scenarioVariants(1) {
+		v := v
+		b.Run(v.Name, func(b *testing.B) { sweepVariant(b, 1, v, true) })
+	}
+}
+
+// BenchmarkFig4aTotalFPS regenerates Figure 4a: total FPS vs task count in
+// Scenario 2 (three contexts).
+func BenchmarkFig4aTotalFPS(b *testing.B) {
+	for _, v := range scenarioVariants(2) {
+		v := v
+		b.Run(v.Name, func(b *testing.B) { sweepVariant(b, 2, v, false) })
+	}
+}
+
+// BenchmarkFig4bDMR regenerates Figure 4b: deadline miss rate vs task count
+// in Scenario 2.
+func BenchmarkFig4bDMR(b *testing.B) {
+	for _, v := range scenarioVariants(2) {
+		v := v
+		b.Run(v.Name, func(b *testing.B) { sweepVariant(b, 2, v, true) })
+	}
+}
+
+// ablationBase is the configuration ablations perturb: SGPRS 1.5x in
+// Scenario 2 at a saturating load (26 tasks).
+func ablationBase() sgprs.RunConfig {
+	return sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
+		Name:       "ablation",
+		ContextSMs: sgprs.ContextPool(3, 1.5, 68),
+		NumTasks:   26,
+		HorizonSec: benchHorizon,
+		Seed:       1,
+	}
+}
+
+func runAblation(b *testing.B, cfg sgprs.RunConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := sgprs.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary.TotalFPS, "fps")
+		b.ReportMetric(res.Summary.DMR, "dmr")
+		b.ReportMetric(res.Summary.RespP99MS, "p99_ms")
+	}
+}
+
+// BenchmarkAblationPriorityLevels (A1): the paper's two-level priority
+// assignment versus flattened pure-EDF stages.
+func BenchmarkAblationPriorityLevels(b *testing.B) {
+	b.Run("two-level", func(b *testing.B) { runAblation(b, ablationBase()) })
+	b.Run("flat-edf", func(b *testing.B) {
+		cfg := ablationBase()
+		cfg.FlattenPriorities = true
+		runAblation(b, cfg)
+	})
+}
+
+// BenchmarkAblationMediumPromotion (A2): the online third priority level on
+// versus off.
+func BenchmarkAblationMediumPromotion(b *testing.B) {
+	b.Run("promotion-on", func(b *testing.B) { runAblation(b, ablationBase()) })
+	b.Run("promotion-off", func(b *testing.B) {
+		cfg := ablationBase()
+		cfg.DisableMediumPromotion = true
+		runAblation(b, cfg)
+	})
+}
+
+// BenchmarkAblationContextPolicy (A3): the paper's three-rule context
+// assignment versus single-rule baselines.
+func BenchmarkAblationContextPolicy(b *testing.B) {
+	policies := []struct {
+		name string
+		pol  int
+	}{
+		{"paper", 0}, {"shortest-queue", 1}, {"earliest-finish", 2}, {"round-robin", 3},
+	}
+	for _, p := range policies {
+		p := p
+		b.Run(p.name, func(b *testing.B) {
+			cfg := ablationBase()
+			cfg.AssignPolicy = core.AssignPolicy(p.pol)
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationStageCount (A4): pipeline granularity.
+func BenchmarkAblationStageCount(b *testing.B) {
+	for _, stages := range []int{1, 2, 3, 6, 12} {
+		stages := stages
+		b.Run(fmt.Sprintf("stages-%d", stages), func(b *testing.B) {
+			cfg := ablationBase()
+			cfg.Stages = stages
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationSwitchCost (A5): sensitivity of the naive baseline to the
+// reconfiguration cost SGPRS avoids entirely.
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	for _, reconfig := range []float64{0.05, 0.3, 0.6, 1.2} {
+		reconfig := reconfig
+		b.Run(fmt.Sprintf("reconfig-%dus", int(reconfig*1000)), func(b *testing.B) {
+			cfg := ablationBase()
+			cfg.Kind = sgprs.KindNaive
+			cfg.ContextSMs = sgprs.ContextPool(3, 1.0, 68)
+			cfg.NaiveReconfigBaseMS = reconfig
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationLateDrop (A6): the temporal-partitioning discipline
+// (skip frames that are already lost) on versus off.
+func BenchmarkAblationLateDrop(b *testing.B) {
+	b.Run("drop-on", func(b *testing.B) { runAblation(b, ablationBase()) })
+	b.Run("drop-off", func(b *testing.B) {
+		cfg := ablationBase()
+		cfg.DisableLateDrop = true
+		runAblation(b, cfg)
+	})
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed: simulated kernel
+// completions per wall second at a saturating load (not a paper figure —
+// infrastructure health).
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := ablationBase()
+	cfg.HorizonSec = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := sgprs.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRobustnessOverrun injects per-job execution-time variation (WCET
+// overruns the offline profile never saw) and reports how gracefully each
+// scheduler degrades at a saturating load.
+func BenchmarkRobustnessOverrun(b *testing.B) {
+	for _, variation := range []float64{0, 0.15, 0.3} {
+		variation := variation
+		b.Run(fmt.Sprintf("sgprs-var%.0f%%", variation*100), func(b *testing.B) {
+			cfg := ablationBase()
+			cfg.WorkVariation = variation
+			runAblation(b, cfg)
+		})
+		b.Run(fmt.Sprintf("naive-var%.0f%%", variation*100), func(b *testing.B) {
+			cfg := ablationBase()
+			cfg.Kind = sgprs.KindNaive
+			cfg.ContextSMs = sgprs.ContextPool(3, 1.0, 68)
+			cfg.WorkVariation = variation
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkEnergyEfficiency reports fps-per-watt at light and saturating
+// load (the device power model is linear in busy SMs; see gpu.PowerModel).
+func BenchmarkEnergyEfficiency(b *testing.B) {
+	for _, n := range []int{8, 26} {
+		n := n
+		b.Run(fmt.Sprintf("tasks-%d", n), func(b *testing.B) {
+			cfg := ablationBase()
+			cfg.NumTasks = n
+			var res sgprs.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sgprs.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.FPSPerWatt, "fps_per_watt")
+			b.ReportMetric(res.AvgPowerW, "watts")
+		})
+	}
+}

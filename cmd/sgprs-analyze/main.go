@@ -1,0 +1,118 @@
+// Command sgprs-analyze runs the offline schedulability analysis for an
+// identical-task configuration and compares the analytic predictions (pivot
+// point, saturation FPS) against a short simulation.
+//
+// Usage:
+//
+//	sgprs-analyze [-n 24] [-fps 30] [-stages 6] [-contexts 34,34] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"sgprs/internal/analysis"
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/profile"
+	"sgprs/internal/rt"
+	"sgprs/internal/sim"
+	"sgprs/internal/speedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgprs-analyze: ")
+	n := flag.Int("n", 24, "number of identical ResNet18 tasks")
+	fps := flag.Float64("fps", 30, "per-task frame rate")
+	stages := flag.Int("stages", 6, "stages per task")
+	contexts := flag.String("contexts", "34,34", "context pool (for the verification run)")
+	verify := flag.Bool("verify", false, "run a simulation sweep around the predicted pivot")
+	flag.Parse()
+
+	model := speedup.DefaultModel()
+	dev := gpu.DefaultConfig()
+	g := sim.ReferenceGraph(model)
+	parts, err := dnn.Partition(g, *stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	period := des.FromSeconds(1 / *fps)
+	task, err := rt.NewTask(0, "resnet18", g, parts, period, period, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := parsePool(*contexts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := profile.New(model, dev).ProfileTask(task, minOf(pool)); err != nil {
+		log.Fatal(err)
+	}
+	load, err := analysis.FromTask(task)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loads := make([]analysis.TaskLoad, *n)
+	for i := range loads {
+		loads[i] = load
+	}
+	rep := analysis.Analyze(loads, dev)
+	fmt.Println(rep)
+
+	pivot := analysis.PredictPivot(load, dev)
+	satFPS := analysis.PredictSaturationFPS(load, dev)
+	fmt.Printf("analytic pivot       %d tasks\n", pivot)
+	fmt.Printf("analytic saturation  %.0f fps\n", satFPS)
+	fmt.Printf("response @pivot      %v (deadline %v)\n",
+		analysis.ResponseEstimate(load, dev, pivot), task.Deadline)
+
+	if !*verify {
+		return
+	}
+	fmt.Println("\nverification sweep (4 s simulated per point):")
+	counts := []int{pivot - 2, pivot, pivot + 2}
+	series, err := sim.SweepSeries(sim.RunConfig{
+		Kind:       sim.KindSGPRS,
+		Name:       "sgprs",
+		ContextSMs: pool,
+		NumTasks:   1,
+		FPS:        *fps,
+		Stages:     *stages,
+		HorizonSec: 4,
+	}, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range series {
+		fmt.Printf("  %2d tasks: %6.1f fps, %d misses\n",
+			p.Tasks, p.Summary.TotalFPS, p.Summary.Missed)
+	}
+}
+
+func parsePool(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid SM allocation %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

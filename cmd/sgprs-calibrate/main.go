@@ -1,0 +1,91 @@
+// Command sgprs-calibrate documents and re-derives the simulator's
+// calibration: it searches the device's aggregate gain cap (and reports the
+// implied reference latency) so that the simulated SGPRS saturation
+// throughput and pivot point land on chosen targets — by default the paper's
+// 741 fps and pivot 24.
+//
+// This is the methodology artifact behind DESIGN.md §2: absolute numbers in
+// this repository are calibrated, and this tool shows exactly how.
+//
+// Usage:
+//
+//	sgprs-calibrate [-target-fps 741] [-target-pivot 24] [-scenario 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sgprs/internal/gpu"
+	"sgprs/internal/metrics"
+	"sgprs/internal/sim"
+	"sgprs/internal/speedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgprs-calibrate: ")
+	targetFPS := flag.Float64("target-fps", 741, "saturation FPS to calibrate toward")
+	targetPivot := flag.Int("target-pivot", 24, "pivot point to calibrate toward")
+	scenario := flag.Int("scenario", 2, "paper scenario to calibrate on")
+	osLevel := flag.Float64("os", 1.5, "over-subscription level of the calibration variant")
+	flag.Parse()
+
+	np, err := sim.ScenarioContexts(*scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := sim.ContextPool(np, *osLevel, speedup.DeviceSMs)
+
+	fmt.Printf("calibrating AggregateGainCap for sat≈%.0f fps, pivot≈%d (scenario %d, %.1fx, pool %v)\n\n",
+		*targetFPS, *targetPivot, *scenario, *osLevel, pool)
+	fmt.Printf("%8s %10s %8s %8s\n", "cap", "sat fps", "pivot", "score")
+
+	type point struct {
+		cap   float64
+		fps   float64
+		pivot int
+		score float64
+	}
+	best := point{score: 1e18}
+	counts := []int{*targetPivot - 2, *targetPivot - 1, *targetPivot, *targetPivot + 1, *targetPivot + 2, *targetPivot + 4}
+	for cap := 20.0; cap <= 26.5; cap += 0.5 {
+		gcfg := gpu.DefaultConfig()
+		gcfg.AggregateGainCap = cap
+		series, err := sim.SweepSeries(sim.RunConfig{
+			Kind:       sim.KindSGPRS,
+			Name:       "calib",
+			ContextSMs: pool,
+			NumTasks:   1,
+			HorizonSec: 4,
+			GPU:        gcfg,
+		}, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fps := metrics.SaturationFPS(series)
+		pivot := metrics.PivotPoint(series)
+		// Relative FPS error plus one "FPS-percent" per pivot step off.
+		score := abs(fps-*targetFPS) / *targetFPS * 100
+		score += abs(float64(pivot - *targetPivot))
+		fmt.Printf("%8.1f %10.1f %8d %8.2f\n", cap, fps, pivot, score)
+		if score < best.score {
+			best = point{cap: cap, fps: fps, pivot: pivot, score: score}
+		}
+	}
+
+	fmt.Printf("\nbest cap: %.1f (sat %.1f fps, pivot %d)\n", best.cap, best.fps, best.pivot)
+	fmt.Printf("shipping default: %.1f (reference latency %.2f ms)\n",
+		gpu.DefaultConfig().AggregateGainCap, sim.ReferenceLatencyMS)
+	fmt.Println("\nNote: the reference latency pins absolute time (dnn.Calibrate); the cap")
+	fmt.Println("pins aggregate throughput. Together they fix saturation FPS ≈ 1000·G/W,")
+	fmt.Println("with W the calibrated per-inference single-SM work (~32.6 ssm·ms).")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

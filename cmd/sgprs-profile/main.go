@@ -1,0 +1,88 @@
+// Command sgprs-profile runs the offline phase in isolation and prints the
+// per-stage WCET and virtual-deadline table for a network — the inputs the
+// online scheduler works from (paper Section IV-A).
+//
+// Usage:
+//
+//	sgprs-profile [-net resnet18] [-stages 6] [-sms 34] [-fps 30] [-margin 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/profile"
+	"sgprs/internal/rt"
+	"sgprs/internal/sim"
+	"sgprs/internal/speedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgprs-profile: ")
+	net := flag.String("net", "resnet18", "network: resnet18, vgg11, tinycnn, mlp")
+	stages := flag.Int("stages", 6, "pipeline stage count")
+	sms := flag.Int("sms", 34, "context SM allocation to profile on")
+	fps := flag.Float64("fps", 30, "task frame rate (sets the deadline)")
+	margin := flag.Float64("margin", 0.05, "WCET safety margin")
+	flag.Parse()
+
+	model := speedup.DefaultModel()
+	graph, err := buildNet(*net, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := dnn.Partition(graph, *stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	period := des.FromSeconds(1 / *fps)
+	task, err := rt.NewTask(0, *net, graph, parts, period, period, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := profile.New(model, gpu.DefaultConfig())
+	prof.Margin = *margin
+	if err := prof.ProfileTask(task, *sms); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network %s: %d ops, %.1f single-SM ms, %.2f GMACs\n",
+		graph.Name, len(graph.Ops), graph.TotalWorkMS(), float64(graph.TotalMACs())/1e9)
+	fmt.Printf("profiled on %d SMs (margin %.0f%%), period/deadline %v\n\n", *sms, *margin*100, period)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "stage\tops\twork(ssm·ms)\tWCET\tvirtual deadline\tlevel\t")
+	for j, st := range parts {
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%v\t%v\t%v\t\n",
+			j, st.Kernels(), st.WorkMS, task.StageWCET(j), task.VirtualDeadline(j), task.StageLevel(j))
+	}
+	fmt.Fprintf(tw, "total\t%d\t%.2f\t%v\t%v\t\t\n",
+		len(graph.Ops), graph.TotalWorkMS(), task.WCET(), task.Deadline)
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nutilisation C/T = %.3f\n", task.Utilization())
+}
+
+func buildNet(name string, model *speedup.Model) (*dnn.Graph, error) {
+	cm := dnn.DefaultCostModel()
+	switch name {
+	case "resnet18":
+		return sim.ReferenceGraph(model), nil
+	case "vgg11":
+		return dnn.VGG11(cm), nil
+	case "tinycnn":
+		return dnn.TinyCNN(cm), nil
+	case "mlp":
+		return dnn.MLP(cm, 784, 512, 10), nil
+	default:
+		return nil, fmt.Errorf("unknown network %q", name)
+	}
+}

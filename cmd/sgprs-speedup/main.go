@@ -1,0 +1,107 @@
+// Command sgprs-speedup regenerates the paper's Figure 1: speedup gain as a
+// function of the SM count for each operation class running in isolation,
+// plus the composed whole-ResNet18 curve.
+//
+// Gains are measured by running kernels on the simulated device (via the
+// offline profiler), not by sampling the analytic model, unless -model is
+// given.
+//
+// Usage:
+//
+//	sgprs-speedup [-sms 1,2,4,...] [-csv] [-model]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/profile"
+	"sgprs/internal/report"
+	"sgprs/internal/speedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgprs-speedup: ")
+	smsFlag := flag.String("sms", "1,2,4,8,16,24,34,48,68", "comma-separated SM counts to sample")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	analytic := flag.Bool("model", false, "sample the analytic model instead of measuring on the simulated device")
+	workMS := flag.Float64("work", 50, "single-SM milliseconds of work per measured kernel")
+	flag.Parse()
+
+	smCounts, err := parseSMs(*smsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := speedup.DefaultModel()
+	var fig *report.Figure1
+	if *analytic {
+		fig = report.Figure1Model(model, smCounts)
+		g := dnn.ResNet18(dnn.DefaultCostModel())
+		row := make([]float64, len(smCounts))
+		for i, n := range smCounts {
+			row[i] = g.Gain(model, float64(n))
+		}
+		fig.AddRow("resnet18", row)
+	} else {
+		fig, err = measure(model, smCounts, *workMS)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *csvOut {
+		err = fig.WriteCSV(os.Stdout)
+	} else {
+		err = fig.WriteText(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseSMs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > speedup.DeviceSMs {
+			return nil, fmt.Errorf("invalid SM count %q (device has %d SMs)", part, speedup.DeviceSMs)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func measure(model *speedup.Model, smCounts []int, workMS float64) (*report.Figure1, error) {
+	prof := profile.New(model, gpu.DefaultConfig())
+	fig := &report.Figure1{SMCounts: smCounts}
+	for _, cl := range speedup.Classes() {
+		row := make([]float64, len(smCounts))
+		for i, n := range smCounts {
+			g, err := prof.OperationGain(cl, workMS, n)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = g
+		}
+		fig.AddRow(cl.String(), row)
+	}
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	row := make([]float64, len(smCounts))
+	for i, n := range smCounts {
+		gain, err := prof.NetworkGain(g, n)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = gain
+	}
+	fig.AddRow("resnet18", row)
+	return fig, nil
+}

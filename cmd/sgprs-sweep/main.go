@@ -1,0 +1,120 @@
+// Command sgprs-sweep regenerates the paper's Figures 3 and 4: total FPS and
+// deadline miss rate versus task count, for the naive baseline and SGPRS at
+// over-subscription levels 1.0/1.5/2.0, in Scenario 1 (two contexts) or
+// Scenario 2 (three contexts).
+//
+// Usage:
+//
+//	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-csv]
+//	sgprs-sweep -config experiment.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"sgprs/internal/config"
+	"sgprs/internal/metrics"
+	"sgprs/internal/report"
+	"sgprs/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgprs-sweep: ")
+	scenario := flag.Int("scenario", 1, "paper scenario: 1 (two contexts) or 2 (three contexts)")
+	tasks := flag.String("tasks", "1..30", "task counts: \"a..b\" range or comma-separated list")
+	horizon := flag.Float64("horizon", 10, "simulated seconds per point")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csvOut := flag.Bool("csv", false, "emit long-form CSV instead of tables")
+	cfgPath := flag.String("config", "", "experiment JSON (overrides other flags)")
+	flag.Parse()
+
+	var scen *report.Scenario
+	if *cfgPath != "" {
+		s, err := runFromConfig(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scen = s
+	} else {
+		counts, err := parseCounts(*tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := sim.RunScenario(*scenario, counts, *horizon, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		np, _ := sim.ScenarioContexts(*scenario)
+		scen = &report.Scenario{
+			Title:      fmt.Sprintf("Scenario %d (%d contexts) — Figures %da/%db analogue", *scenario, np, *scenario+2, *scenario+2),
+			TaskCounts: run.TaskCounts,
+			Series:     run.Series,
+			Order:      run.Order,
+		}
+	}
+
+	var err error
+	if *csvOut {
+		err = scen.WriteCSV(os.Stdout)
+	} else {
+		err = scen.WriteText(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runFromConfig(path string) (*report.Scenario, error) {
+	exp, err := config.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	bases, err := exp.RunConfigs()
+	if err != nil {
+		return nil, err
+	}
+	scen := &report.Scenario{
+		Title:      fmt.Sprintf("Experiment %s", path),
+		TaskCounts: exp.TaskCounts,
+		Series:     map[string][]metrics.Point{},
+	}
+	for _, base := range bases {
+		series, err := sim.SweepSeries(base, exp.TaskCounts)
+		if err != nil {
+			return nil, err
+		}
+		scen.Series[base.Name] = series
+		scen.Order = append(scen.Order, base.Name)
+	}
+	return scen, nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	if a, b, ok := strings.Cut(s, ".."); ok {
+		lo, err1 := strconv.Atoi(strings.TrimSpace(a))
+		hi, err2 := strconv.Atoi(strings.TrimSpace(b))
+		if err1 != nil || err2 != nil || lo < 1 || hi < lo {
+			return nil, fmt.Errorf("invalid range %q", s)
+		}
+		var out []int
+		for n := lo; n <= hi; n++ {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid task count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+// Energy: compare the energy efficiency (fps per watt) of SGPRS and the
+// naive baseline across load levels, using the device's linear power model
+// (idle + per-active-SM dynamic power, calibrated to an RTX 2080 Ti's TDP).
+//
+// The interesting effect: at equal load both schedulers draw similar power,
+// but past the naive baseline's pivot its completions stall while the device
+// keeps burning — efficiency diverges exactly where deadlines start failing.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgprs/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("energy efficiency across load, Scenario 1 (two contexts)")
+	fmt.Printf("\n%-6s | %-28s | %-28s\n", "", "naive", "sgprs-2.0x")
+	fmt.Printf("%-6s | %8s %8s %9s | %8s %8s %9s\n",
+		"tasks", "fps", "watts", "fps/W", "fps", "watts", "fps/W")
+	for _, n := range []int{4, 8, 12, 16, 20, 24, 28} {
+		naive := run(sim.KindNaive, sim.ContextPool(2, 1.0, 68), n)
+		sgprs := run(sim.KindSGPRS, sim.ContextPool(2, 2.0, 68), n)
+		fmt.Printf("%-6d | %8.1f %8.1f %9.2f | %8.1f %8.1f %9.2f\n",
+			n,
+			naive.Summary.TotalFPS, naive.AvgPowerW, naive.FPSPerWatt,
+			sgprs.Summary.TotalFPS, sgprs.AvgPowerW, sgprs.FPSPerWatt)
+	}
+}
+
+func run(kind sim.Kind, pool []int, n int) sim.Result {
+	res, err := sim.Run(sim.RunConfig{
+		Kind:       kind,
+		ContextSMs: pool,
+		NumTasks:   n,
+		HorizonSec: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

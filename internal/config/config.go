@@ -1,0 +1,174 @@
+// Package config loads and saves experiment configurations as JSON, so
+// sweeps are reproducible artifacts rather than command-line folklore.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sgprs/internal/sim"
+)
+
+// Experiment is the serialisable description of a figure regeneration run.
+type Experiment struct {
+	// Scenario is 1 (two contexts) or 2 (three contexts); 0 means the
+	// Variants' explicit context pools are used instead.
+	Scenario int `json:"scenario,omitempty"`
+	// TaskCounts is the sweep axis (defaults to 1..30).
+	TaskCounts []int `json:"task_counts,omitempty"`
+	// HorizonSec is the simulated duration per point (default 10).
+	HorizonSec float64 `json:"horizon_sec,omitempty"`
+	// WarmUpSec is excluded from metrics (default 1).
+	WarmUpSec float64 `json:"warmup_sec,omitempty"`
+	// Seed drives every stochastic element (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// FPS is the per-task frame rate (default 30).
+	FPS float64 `json:"fps,omitempty"`
+	// Stages is the per-task stage count (default 6).
+	Stages int `json:"stages,omitempty"`
+	// Stagger spreads task offsets across the period instead of the
+	// paper's synchronous releases.
+	Stagger bool `json:"stagger,omitempty"`
+	// Variants lists the scheduler configurations to sweep; empty means
+	// the paper's four (naive + SGPRS at 1.0/1.5/2.0x).
+	Variants []Variant `json:"variants,omitempty"`
+}
+
+// Variant is one serialisable scheduler configuration.
+type Variant struct {
+	Kind string  `json:"kind"` // "sgprs" or "naive"
+	Name string  `json:"name"`
+	OS   float64 `json:"os,omitempty"` // over-subscription level
+	// ContextSMs overrides the scenario-derived pool when non-empty.
+	ContextSMs []int `json:"context_sms,omitempty"`
+}
+
+// Normalize fills defaults and validates.
+func (e *Experiment) Normalize() error {
+	if e.Scenario != 0 {
+		if _, err := sim.ScenarioContexts(e.Scenario); err != nil {
+			return err
+		}
+	}
+	if len(e.TaskCounts) == 0 {
+		for n := 1; n <= 30; n++ {
+			e.TaskCounts = append(e.TaskCounts, n)
+		}
+	}
+	for _, n := range e.TaskCounts {
+		if n <= 0 {
+			return fmt.Errorf("config: task count %d must be positive", n)
+		}
+	}
+	if e.HorizonSec == 0 {
+		e.HorizonSec = 10
+	}
+	if e.WarmUpSec == 0 {
+		e.WarmUpSec = 1
+	}
+	if e.HorizonSec <= e.WarmUpSec {
+		return fmt.Errorf("config: horizon %vs must exceed warm-up %vs", e.HorizonSec, e.WarmUpSec)
+	}
+	if e.Seed == 0 {
+		e.Seed = 1
+	}
+	if e.FPS == 0 {
+		e.FPS = 30
+	}
+	if e.Stages == 0 {
+		e.Stages = 6
+	}
+	if len(e.Variants) == 0 {
+		for _, v := range sim.ScenarioVariants() {
+			e.Variants = append(e.Variants, Variant{Kind: v.Kind.String(), Name: v.Name, OS: v.OS})
+		}
+	}
+	for i := range e.Variants {
+		v := &e.Variants[i]
+		if v.Kind != "sgprs" && v.Kind != "naive" {
+			return fmt.Errorf("config: variant %q has unknown kind %q", v.Name, v.Kind)
+		}
+		if v.Name == "" {
+			return fmt.Errorf("config: variant %d needs a name", i)
+		}
+		if len(v.ContextSMs) == 0 {
+			if e.Scenario == 0 {
+				return fmt.Errorf("config: variant %q needs context_sms when no scenario is set", v.Name)
+			}
+			if v.OS <= 0 {
+				return fmt.Errorf("config: variant %q needs an over-subscription level", v.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// RunConfigs expands the experiment into one sim.RunConfig per variant (task
+// count left to the sweep driver).
+func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
+	if err := e.Normalize(); err != nil {
+		return nil, err
+	}
+	var out []sim.RunConfig
+	for _, v := range e.Variants {
+		kind := sim.KindSGPRS
+		if v.Kind == "naive" {
+			kind = sim.KindNaive
+		}
+		pool := v.ContextSMs
+		if len(pool) == 0 {
+			np, err := sim.ScenarioContexts(e.Scenario)
+			if err != nil {
+				return nil, err
+			}
+			os := v.OS
+			if kind == sim.KindNaive {
+				os = 1.0 // the naive baseline tiles the device
+			}
+			pool = sim.ContextPool(np, os, 68)
+		}
+		out = append(out, sim.RunConfig{
+			Kind:       kind,
+			Name:       v.Name,
+			ContextSMs: pool,
+			NumTasks:   1,
+			FPS:        e.FPS,
+			Stages:     e.Stages,
+			Stagger:    e.Stagger,
+			HorizonSec: e.HorizonSec,
+			WarmUpSec:  e.WarmUpSec,
+			Seed:       e.Seed,
+		})
+	}
+	return out, nil
+}
+
+// Load reads an Experiment from a JSON file.
+func Load(path string) (*Experiment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	var e Experiment
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("config: parse %s: %w", path, err)
+	}
+	if err := e.Normalize(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Save writes the experiment as indented JSON.
+func (e *Experiment) Save(path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It is returned by Engine.Schedule so callers
+// can cancel or reschedule it.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	fn     func(now Time)
+	label  string
+	cancel bool
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all callbacks run on the goroutine that calls Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine positioned at the simulation epoch.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at the absolute instant at. Scheduling in the
+// past panics: that is always a simulation bug, and silently clamping it
+// would hide ordering errors. The label is for diagnostics and traces.
+func (e *Engine) Schedule(at Time, label string, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: schedule %q at %v before now %v", label, at, e.now))
+	}
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, label: label, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current instant.
+func (e *Engine) After(d Time, label string, fn func(now Time)) *Event {
+	return e.Schedule(e.now.Add(d), label, fn)
+}
+
+// Cancel removes ev from the queue if it has not fired. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Reschedule moves a pending event to a new instant, preserving its callback.
+// If the event already fired it is re-queued.
+func (e *Engine) Reschedule(ev *Event, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: reschedule %q at %v before now %v", ev.label, at, e.now))
+	}
+	if ev.index >= 0 {
+		ev.at = at
+		ev.seq = e.seq
+		e.seq++
+		heap.Fix(&e.queue, ev.index)
+		return
+	}
+	ev.cancel = false
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// Stop makes the current Run call return after the in-flight callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event and reports whether one fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in timestamp order until the queue drains, Stop is
+// called, or the next event would fire strictly after the horizon. The clock
+// is left at min(horizon, last event time) — i.e. it advances to the horizon
+// when the queue outlives it.
+func (e *Engine) RunUntil(horizon Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}

@@ -1,0 +1,333 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := FromMillis(2.5); got != 2500*Microsecond {
+		t.Errorf("FromMillis(2.5) = %v, want 2.5ms", got)
+	}
+	if got := FromMicros(3); got != 3*Microsecond {
+		t.Errorf("FromMicros(3) = %v, want 3us", got)
+	}
+	if got := FromDuration(2 * time.Second); got != 2*Second {
+		t.Errorf("FromDuration(2s) = %v, want 2s", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+	if got := (1500 * Microsecond).Milliseconds(); got != 1.5 {
+		t.Errorf("Milliseconds = %v, want 1.5", got)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if got := Never.Add(Second); got != Never {
+		t.Errorf("Never.Add = %v, want Never", got)
+	}
+	if got := Time(1).Add(Never); got != Never {
+		t.Errorf("Add(Never) = %v, want Never", got)
+	}
+	big := Time(1<<63 - 10)
+	if got := big.Add(100); got != Never {
+		t.Errorf("overflowing Add = %v, want Never", got)
+	}
+	if got := Time(5).Add(7); got != 12 {
+		t.Errorf("5+7 = %v, want 12", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+	if got := (12 * Millisecond).String(); got != "12ms" {
+		t.Errorf("12ms String = %q", got)
+	}
+}
+
+func TestFromSecondsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSeconds(-1) did not panic")
+		}
+	}()
+	FromSeconds(-1)
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Millisecond, "c", func(Time) { order = append(order, 3) })
+	e.Schedule(10*Millisecond, "a", func(Time) { order = append(order, 1) })
+	e.Schedule(20*Millisecond, "b", func(Time) { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("final Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Millisecond, "tie", func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEngineScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Millisecond, "x", func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schedule in the past did not panic")
+		}
+	}()
+	e.Schedule(5*Millisecond, "past", func(Time) {})
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.Schedule(Millisecond, "nil", nil)
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(Millisecond, "x", func(Time) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event not pending after schedule")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("event pending after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.Schedule(Millisecond, "x", func(now Time) { at = now })
+	e.Reschedule(ev, 5*Millisecond)
+	e.Run()
+	if at != 5*Millisecond {
+		t.Errorf("fired at %v, want 5ms", at)
+	}
+	// Re-queue after firing.
+	e.Reschedule(ev, 9*Millisecond)
+	e.Run()
+	if at != 9*Millisecond {
+		t.Errorf("refired at %v, want 9ms", at)
+	}
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(Millisecond, "a", func(Time) { count++ })
+	e.Schedule(Second, "b", func(Time) { count++ })
+	e.RunUntil(100 * Millisecond)
+	if count != 1 {
+		t.Errorf("fired %d events, want 1", count)
+	}
+	if e.Now() != 100*Millisecond {
+		t.Errorf("Now = %v, want horizon 100ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(2 * Second)
+	if count != 2 {
+		t.Errorf("fired %d events, want 2", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Millisecond, "x", func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("fired %d events, want 3 (stopped)", count)
+	}
+}
+
+func TestEngineSelfScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(now Time)
+	tick = func(now Time) {
+		count++
+		if count < 100 {
+			e.After(Millisecond, "tick", tick)
+		}
+	}
+	e.After(Millisecond, "tick", tick)
+	e.Run()
+	if count != 100 {
+		t.Errorf("ticks = %d, want 100", count)
+	}
+	if e.Now() != 100*Millisecond {
+		t.Errorf("Now = %v, want 100ms", e.Now())
+	}
+	if e.Fired() != 100 {
+		t.Errorf("Fired = %d, want 100", e.Fired())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced the same first value")
+	}
+}
+
+func TestRNGForkOrderIndependent(t *testing.T) {
+	a := NewRNG(7)
+	a.Uint64()
+	a.Uint64()
+	// Fork depends on the *seed*, not on consumption. Forking after draws
+	// changes the parent state, so compare forks from fresh parents.
+	f1 := NewRNG(7).Fork(1).Uint64()
+	f2 := NewRNG(7).Fork(1).Uint64()
+	if f1 != f2 {
+		t.Error("fork not deterministic")
+	}
+	if NewRNG(7).Fork(1).Uint64() == NewRNG(7).Fork(2).Uint64() {
+		t.Error("different salts produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	varv := sum2/n - mean*mean
+	if mean < 9.95 || mean > 10.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if varv < 3.8 || varv > 4.2 {
+		t.Errorf("var = %v, want ~4", varv)
+	}
+}
+
+func TestRNGTruncNormalBounds(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		v := r.TruncNormal(0, 100, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / n
+	if mean < 4.9 || mean > 5.1 {
+		t.Errorf("Exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+// Property: events always fire in non-decreasing time order, whatever the
+// scheduling order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			e.Schedule(Time(off)*Microsecond, "p", func(now Time) {
+				fired = append(fired, now)
+			})
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

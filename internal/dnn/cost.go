@@ -1,0 +1,140 @@
+package dnn
+
+import (
+	"fmt"
+
+	"sgprs/internal/speedup"
+)
+
+// CostModel converts operation arithmetic (MACs) and memory traffic (bytes)
+// into single-SM execution time:
+//
+//	work_ms = 1000 · (MACs/MACRate + Bytes/MemRate)
+//
+// Rates are per-SM. The defaults are calibrated — not microarchitecturally
+// derived — so that (a) convolution dominates ResNet18's single-SM time with
+// roughly a 9:1 share, which is what makes the composed network speedup land
+// at the paper's 23x rather than convolution's 32x, and (b) the full-device
+// ResNet18 latency lands near 1.4 ms, the scale implied by the paper's
+// saturation throughput (≈750 inferences/s on a fully loaded device).
+type CostModel struct {
+	MACRate float64 // multiply-accumulates per second per SM
+	MemRate float64 // DRAM bytes per second per SM
+}
+
+// DefaultCostModel returns the calibrated RTX 2080 Ti single-SM rates.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MACRate: 64e9, // 64 GMAC/s per SM
+		MemRate: 17e9, // 17 GB/s per SM
+	}
+}
+
+// WorkMS reports single-SM milliseconds for an op with the given demands.
+func (cm CostModel) WorkMS(macs, bytes int64) float64 {
+	if cm.MACRate <= 0 || cm.MemRate <= 0 {
+		panic(fmt.Sprintf("dnn: invalid cost model %+v", cm))
+	}
+	return 1000 * (float64(macs)/cm.MACRate + float64(bytes)/cm.MemRate)
+}
+
+// builder incrementally constructs a Graph with cost annotations. The last
+// added op is the implicit input of the next one unless explicit inputs are
+// given, which keeps network definitions compact and linear to read.
+type builder struct {
+	g    *Graph
+	cm   CostModel
+	last int
+}
+
+func newBuilder(name string, cm CostModel) *builder {
+	return &builder{g: &Graph{Name: name}, cm: cm, last: -1}
+}
+
+// add appends an op consuming the given inputs (default: previous op).
+func (b *builder) add(name string, class speedup.Class, out Shape, macs, bytes int64, inputs ...int) int {
+	if len(inputs) == 0 && b.last >= 0 {
+		inputs = []int{b.last}
+	}
+	op := &Op{
+		ID:     len(b.g.Ops),
+		Name:   name,
+		Class:  class,
+		Out:    out,
+		MACs:   macs,
+		Bytes:  bytes,
+		WorkMS: b.cm.WorkMS(macs, bytes),
+		Inputs: inputs,
+	}
+	b.g.Ops = append(b.g.Ops, op)
+	b.last = op.ID
+	return op.ID
+}
+
+const elemBytes = 4 // fp32 activations and weights
+
+// conv adds a KxK convolution (with bias folded away; networks here use BN).
+func (b *builder) conv(name string, in Shape, outC, k, stride, pad int, inputs ...int) int {
+	outH := (in.H+2*pad-k)/stride + 1
+	outW := (in.W+2*pad-k)/stride + 1
+	out := Shape{C: outC, H: outH, W: outW}
+	macs := out.Elems() * int64(in.C) * int64(k) * int64(k)
+	weights := int64(outC) * int64(in.C) * int64(k) * int64(k)
+	bytes := elemBytes * (in.Elems() + out.Elems() + weights)
+	return b.add(name, speedup.Conv, out, macs, bytes, inputs...)
+}
+
+// batchNorm adds an inference-mode batch normalisation over the input shape.
+func (b *builder) batchNorm(name string, s Shape, inputs ...int) int {
+	macs := 2 * s.Elems() // scale + shift
+	bytes := elemBytes * (2*s.Elems() + 2*int64(s.C))
+	return b.add(name, speedup.BatchNorm, s, macs, bytes, inputs...)
+}
+
+// relu adds an elementwise rectifier.
+func (b *builder) relu(name string, s Shape, inputs ...int) int {
+	return b.add(name, speedup.ReLU, s, s.Elems(), elemBytes*2*s.Elems(), inputs...)
+}
+
+// maxPool adds a KxK max pooling.
+func (b *builder) maxPool(name string, in Shape, k, stride, pad int, inputs ...int) int {
+	outH := (in.H+2*pad-k)/stride + 1
+	outW := (in.W+2*pad-k)/stride + 1
+	out := Shape{C: in.C, H: outH, W: outW}
+	macs := out.Elems() * int64(k) * int64(k) // comparisons, counted as ops
+	bytes := elemBytes * (in.Elems() + out.Elems())
+	return b.add(name, speedup.MaxPool, out, macs, bytes, inputs...)
+}
+
+// globalAvgPool reduces HxW to 1x1 per channel.
+func (b *builder) globalAvgPool(name string, in Shape, inputs ...int) int {
+	out := Shape{C: in.C, H: 1, W: 1}
+	bytes := elemBytes * (in.Elems() + out.Elems())
+	return b.add(name, speedup.AvgPool, out, in.Elems(), bytes, inputs...)
+}
+
+// addResidual adds an elementwise sum of two tensors of shape s.
+func (b *builder) addResidual(name string, s Shape, a, c int) int {
+	return b.add(name, speedup.Add, s, s.Elems(), elemBytes*3*s.Elems(), a, c)
+}
+
+// linear adds a fully connected layer from in features to out features.
+func (b *builder) linear(name string, in, out int, inputs ...int) int {
+	macs := int64(in) * int64(out)
+	bytes := elemBytes * (int64(in) + int64(out) + int64(in)*int64(out))
+	return b.add(name, speedup.Linear, Shape{C: out, H: 1, W: 1}, macs, bytes, inputs...)
+}
+
+// softmax adds a softmax over a vector of n features.
+func (b *builder) softmax(name string, n int, inputs ...int) int {
+	s := Shape{C: n, H: 1, W: 1}
+	return b.add(name, speedup.Softmax, s, 3*s.Elems(), elemBytes*2*s.Elems(), inputs...)
+}
+
+// finish validates and returns the graph.
+func (b *builder) finish() *Graph {
+	if err := b.g.Validate(); err != nil {
+		panic(err) // builder bug, not caller input
+	}
+	return b.g
+}

@@ -1,0 +1,391 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sgprs/internal/speedup"
+)
+
+func TestShape(t *testing.T) {
+	s := Shape{C: 64, H: 56, W: 56}
+	if s.Elems() != 64*56*56 {
+		t.Errorf("Elems = %d", s.Elems())
+	}
+	if s.String() != "64x56x56" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestResNet18Structure(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Standard ResNet18: 20 convolutions (stem + 16 block convs + 3
+	// downsample projections), 1 FC.
+	var convs, fcs, adds int
+	for _, op := range g.Ops {
+		switch op.Class {
+		case speedup.Conv:
+			convs++
+		case speedup.Linear:
+			fcs++
+		case speedup.Add:
+			adds++
+		}
+	}
+	if convs != 20 {
+		t.Errorf("conv count = %d, want 20", convs)
+	}
+	if fcs != 1 {
+		t.Errorf("fc count = %d, want 1", fcs)
+	}
+	if adds != 8 {
+		t.Errorf("residual add count = %d, want 8", adds)
+	}
+	// ~1.82 GMACs for ResNet18 at 224x224.
+	macs := float64(g.TotalMACs())
+	if macs < 1.7e9 || macs < 0 || macs > 2.0e9 {
+		t.Errorf("total MACs = %.3g, want ~1.82e9", macs)
+	}
+	// Final op is the classifier softmax over 1000 classes.
+	last := g.Ops[len(g.Ops)-1]
+	if last.Class != speedup.Softmax || last.Out.C != 1000 {
+		t.Errorf("last op = %s (%v, %v)", last.Name, last.Class, last.Out)
+	}
+}
+
+func TestResNet18ComposedSpeedupNearPaper(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	m := speedup.DefaultModel()
+	gain := g.Gain(m, speedup.DeviceSMs)
+	// Paper: ResNet18 composes to "only 23x" at 68 SMs.
+	if gain < 20 || gain > 26 {
+		t.Errorf("ResNet18 gain at 68 SMs = %.2f, want ~23", gain)
+	}
+	// Conv must dominate single-SM work for the composition to behave
+	// like the paper's Figure 1.
+	var convWork float64
+	for _, ws := range g.WorkByClass() {
+		if ws.Class == speedup.Conv {
+			convWork = ws.Work
+		}
+	}
+	if frac := convWork / g.TotalWorkMS(); frac < 0.8 || frac > 0.97 {
+		t.Errorf("conv work fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestResNet18LatencyScale(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	m := speedup.DefaultModel()
+	lat := g.LatencyMS(m, speedup.DeviceSMs)
+	// The calibration target is ~1.4 ms full-device; the raw cost model
+	// should land in the same decade before Calibrate fine-tunes it.
+	if lat < 0.5 || lat > 5 {
+		t.Errorf("full-device latency = %.3f ms, want O(1ms)", lat)
+	}
+}
+
+func TestCalibratePinsLatency(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	m := speedup.DefaultModel()
+	factor := Calibrate(g, m, speedup.DeviceSMs, 1.40)
+	if factor <= 0 {
+		t.Fatalf("factor = %v", factor)
+	}
+	if lat := g.LatencyMS(m, speedup.DeviceSMs); math.Abs(lat-1.40) > 1e-9 {
+		t.Errorf("calibrated latency = %v, want 1.40", lat)
+	}
+}
+
+func TestCalibratePanics(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	m := speedup.DefaultModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Calibrate with non-positive target did not panic")
+		}
+	}()
+	Calibrate(g, m, 68, 0)
+}
+
+func TestOtherModelsValidate(t *testing.T) {
+	cm := DefaultCostModel()
+	for _, g := range []*Graph{VGG11(cm), TinyCNN(cm), MLP(cm, 784, 256, 10)} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		if g.TotalWorkMS() <= 0 {
+			t.Errorf("%s: no work", g.Name)
+		}
+	}
+	// VGG11 is far heavier than ResNet18; TinyCNN far lighter.
+	r := ResNet18(cm).TotalWorkMS()
+	if v := VGG11(cm).TotalWorkMS(); v < 2*r {
+		t.Errorf("VGG11 work %v should be >> ResNet18 %v", v, r)
+	}
+	if c := TinyCNN(cm).TotalWorkMS(); c > r/10 {
+		t.Errorf("TinyCNN work %v should be << ResNet18 %v", c, r)
+	}
+}
+
+func TestValidateCatchesCorruptGraphs(t *testing.T) {
+	cm := DefaultCostModel()
+	g := ResNet18(cm)
+
+	g.Ops[3].Inputs = []int{99999}
+	if err := g.Validate(); err == nil {
+		t.Error("dangling input not caught")
+	}
+
+	g = ResNet18(cm)
+	g.Ops[5].Inputs = []int{5}
+	if err := g.Validate(); err == nil {
+		t.Error("self-loop not caught")
+	}
+
+	g = ResNet18(cm)
+	g.Ops[2].WorkMS = -1
+	if err := g.Validate(); err == nil {
+		t.Error("negative work not caught")
+	}
+
+	g = ResNet18(cm)
+	g.Ops[7].ID = 3
+	if err := g.Validate(); err == nil {
+		t.Error("ID mismatch not caught")
+	}
+
+	if err := (&Graph{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty graph not caught")
+	}
+	if err := (&Graph{}).Validate(); err == nil {
+		t.Error("unnamed graph not caught")
+	}
+}
+
+func TestCutPointsRespectResiduals(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	cuts := g.CutPoints()
+	if len(cuts) < 10 {
+		t.Fatalf("ResNet18 has %d cut points, expected at least one per block boundary", len(cuts))
+	}
+	// No cut may sit strictly inside a residual block: for every op with
+	// two inputs (the adds), no cut point can lie strictly between the
+	// block input (which is itself a legal single-tensor boundary) and
+	// the add.
+	cutSet := make(map[int]bool, len(cuts))
+	for _, c := range cuts {
+		cutSet[c] = true
+	}
+	for _, op := range g.Ops {
+		if op.Class != speedup.Add {
+			continue
+		}
+		lo := op.Inputs[0]
+		if op.Inputs[1] < lo {
+			lo = op.Inputs[1]
+		}
+		for c := lo + 1; c < op.ID; c++ {
+			if cutSet[c] {
+				t.Errorf("cut point %d inside residual block ending at %s", c, op.Name)
+			}
+		}
+	}
+}
+
+func TestPartitionSixStages(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	stages, err := Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 6 {
+		t.Fatalf("got %d stages", len(stages))
+	}
+	// Stages cover all ops exactly once, in order.
+	next := 0
+	var total float64
+	for _, st := range stages {
+		if len(st.Ops) == 0 {
+			t.Fatalf("%s empty", st.Name())
+		}
+		for _, op := range st.Ops {
+			if op.ID != next {
+				t.Fatalf("op %d out of order in %s (want %d)", op.ID, st.Name(), next)
+			}
+			next++
+		}
+		total += st.WorkMS
+	}
+	if next != len(g.Ops) {
+		t.Fatalf("stages cover %d ops, graph has %d", next, len(g.Ops))
+	}
+	if math.Abs(total-g.TotalWorkMS()) > 1e-9 {
+		t.Errorf("stage work sums to %v, graph has %v", total, g.TotalWorkMS())
+	}
+	// Balance: the largest stage is within 3x of the smallest. (Perfect
+	// balance is impossible — cuts are constrained to block boundaries.)
+	lo, hi := math.Inf(1), 0.0
+	for _, st := range stages {
+		lo = math.Min(lo, st.WorkMS)
+		hi = math.Max(hi, st.WorkMS)
+	}
+	if hi > 3*lo {
+		t.Errorf("stage imbalance: min %v max %v", lo, hi)
+	}
+}
+
+func TestPartitionChainProperty(t *testing.T) {
+	// Every cross-stage edge must land exactly one stage later — the
+	// chain structure the schedulers rely on.
+	g := ResNet18(DefaultCostModel())
+	for _, k := range []int{1, 2, 3, 4, 6, 8, 12} {
+		stages, err := Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		stageOf := make(map[int]int)
+		for _, st := range stages {
+			for _, op := range st.Ops {
+				stageOf[op.ID] = st.Index
+			}
+		}
+		for _, st := range stages {
+			for _, op := range st.Ops {
+				for _, in := range op.Inputs {
+					d := st.Index - stageOf[in]
+					if d != 0 && d != 1 {
+						t.Errorf("k=%d: edge %d->%d spans stages %d->%d", k, in, op.ID, stageOf[in], st.Index)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	if _, err := Partition(g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Partition(g, -1); err == nil {
+		t.Error("k=-1 accepted")
+	}
+	if _, err := Partition(g, 10000); err == nil {
+		t.Error("k larger than atoms accepted")
+	}
+	if _, err := Partition(&Graph{}, 2); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestPartitionSingleStageIsWholeGraph(t *testing.T) {
+	g := TinyCNN(DefaultCostModel())
+	stages, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || len(stages[0].Ops) != len(g.Ops) {
+		t.Fatalf("single stage should hold every op")
+	}
+	if stages[0].Kernels() != len(g.Ops) {
+		t.Errorf("Kernels = %d, want %d", stages[0].Kernels(), len(g.Ops))
+	}
+}
+
+func TestStageLatencyComposition(t *testing.T) {
+	g := ResNet18(DefaultCostModel())
+	m := speedup.DefaultModel()
+	stages, err := Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, st := range stages {
+		l := st.LatencyMS(m, 34)
+		if l <= 0 {
+			t.Fatalf("%s latency %v", st.Name(), l)
+		}
+		sum += l
+	}
+	whole := g.LatencyMS(m, 34)
+	// Sequential stage latencies must sum to the whole-network latency
+	// (same work, same gains, just regrouped) within a modest tolerance —
+	// grouping changes the harmonic weighting slightly.
+	if math.Abs(sum-whole)/whole > 0.05 {
+		t.Errorf("stage latency sum %v vs whole %v", sum, whole)
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	g := TinyCNN(DefaultCostModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	g.Scale(0)
+}
+
+func TestCostModelPanicsWhenInvalid(t *testing.T) {
+	cm := CostModel{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero cost model did not panic")
+		}
+	}()
+	cm.WorkMS(1, 1)
+}
+
+// Property: balancedPartition always produces exactly k non-empty groups
+// covering the input, with max group sum no worse than twice the flat bound
+// for any input (a loose sanity bound; optimality is checked by construction
+// of the DP).
+func TestBalancedPartitionProperty(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		work := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			work[i] = float64(r) + 1
+			total += work[i]
+		}
+		k := int(kRaw)%len(work) + 1
+		sizes := balancedPartition(work, k)
+		if len(sizes) != k {
+			return false
+		}
+		sum := 0
+		var maxGroup float64
+		idx := 0
+		for _, sz := range sizes {
+			if sz <= 0 {
+				return false
+			}
+			var gs float64
+			for j := 0; j < sz; j++ {
+				gs += work[idx]
+				idx++
+			}
+			if gs > maxGroup {
+				maxGroup = gs
+			}
+			sum += sz
+		}
+		if sum != len(work) {
+			return false
+		}
+		// Any partition's max group is at least total/k and at most
+		// total; the DP result must sit in that range.
+		return maxGroup >= total/float64(k)-1e-9 && maxGroup <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

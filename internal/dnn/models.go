@@ -1,0 +1,157 @@
+package dnn
+
+import (
+	"fmt"
+
+	"sgprs/internal/speedup"
+)
+
+// ResNet18 builds the benchmark network of the paper — ResNet18 [He et al.
+// 2016] for a 224x224x3 input — with per-operation cost annotations. The
+// structure is the standard one: a 7x7 stem, four two-block residual layers,
+// global average pooling, and a 1000-way classifier head.
+func ResNet18(cm CostModel) *Graph {
+	b := newBuilder("resnet18", cm)
+	in := Shape{C: 3, H: 224, W: 224}
+
+	b.conv("conv1", in, 64, 7, 2, 3)
+	s := Shape{C: 64, H: 112, W: 112}
+	b.batchNorm("bn1", s)
+	b.relu("relu1", s)
+	b.maxPool("maxpool", s, 3, 2, 1)
+	s = Shape{C: 64, H: 56, W: 56}
+
+	cfg := []struct {
+		name   string
+		outC   int
+		stride int
+	}{
+		{"layer1", 64, 1},
+		{"layer2", 128, 2},
+		{"layer3", 256, 2},
+		{"layer4", 512, 2},
+	}
+	for _, layer := range cfg {
+		s = basicBlock(b, layer.name+".0", s, layer.outC, layer.stride)
+		s = basicBlock(b, layer.name+".1", s, layer.outC, 1)
+	}
+
+	b.globalAvgPool("avgpool", s)
+	b.linear("fc", s.C, 1000)
+	b.softmax("softmax", 1000)
+	return b.finish()
+}
+
+// basicBlock appends a ResNet basic block (two 3x3 convolutions plus a
+// residual connection, with a strided 1x1 projection when the shape changes)
+// and returns the output shape.
+func basicBlock(b *builder, name string, in Shape, outC, stride int) Shape {
+	blockIn := b.last
+	out := Shape{C: outC, H: (in.H-1)/stride + 1, W: (in.W-1)/stride + 1}
+
+	b.conv(name+".conv1", in, outC, 3, stride, 1)
+	b.batchNorm(name+".bn1", out)
+	b.relu(name+".relu1", out)
+	b.conv(name+".conv2", out, outC, 3, 1, 1)
+	main := b.batchNorm(name+".bn2", out)
+
+	shortcut := blockIn
+	if stride != 1 || in.C != outC {
+		b.conv(name+".downsample.conv", in, outC, 1, stride, 0, blockIn)
+		shortcut = b.batchNorm(name+".downsample.bn", out)
+	}
+	b.addResidual(name+".add", out, main, shortcut)
+	b.relu(name+".relu2", out)
+	return out
+}
+
+// VGG11 builds a VGG-11 network for a 224x224x3 input — a purely sequential
+// convolutional network used by the multi-tenant example as a second tenant
+// class with a heavier, less residual op mix.
+func VGG11(cm CostModel) *Graph {
+	b := newBuilder("vgg11", cm)
+	s := Shape{C: 3, H: 224, W: 224}
+	plan := []struct {
+		outC int
+		pool bool
+	}{
+		{64, true},
+		{128, true},
+		{256, false}, {256, true},
+		{512, false}, {512, true},
+		{512, false}, {512, true},
+	}
+	for i, p := range plan {
+		name := fmt.Sprintf("conv%d", i+1)
+		b.conv(name, s, p.outC, 3, 1, 1)
+		s = Shape{C: p.outC, H: s.H, W: s.W}
+		b.batchNorm("bn"+name[4:], s)
+		b.relu("relu"+name[4:], s)
+		if p.pool {
+			b.maxPool("pool"+name[4:], s, 2, 2, 0)
+			s = Shape{C: s.C, H: s.H / 2, W: s.W / 2}
+		}
+	}
+	b.globalAvgPool("avgpool", s)
+	b.linear("fc1", s.C, 4096)
+	b.relu("relufc1", Shape{C: 4096, H: 1, W: 1})
+	b.linear("fc2", 4096, 4096)
+	b.relu("relufc2", Shape{C: 4096, H: 1, W: 1})
+	b.linear("fc3", 4096, 1000)
+	b.softmax("softmax", 1000)
+	return b.finish()
+}
+
+// TinyCNN builds a small LeNet-style network for a 32x32x3 input. It is the
+// lightweight tenant in mixed workloads and keeps unit tests fast.
+func TinyCNN(cm CostModel) *Graph {
+	b := newBuilder("tinycnn", cm)
+	s := Shape{C: 3, H: 32, W: 32}
+	b.conv("conv1", s, 32, 5, 1, 2)
+	s = Shape{C: 32, H: 32, W: 32}
+	b.relu("relu1", s)
+	b.maxPool("pool1", s, 2, 2, 0)
+	s = Shape{C: 32, H: 16, W: 16}
+	b.conv("conv2", s, 64, 5, 1, 2)
+	s = Shape{C: 64, H: 16, W: 16}
+	b.relu("relu2", s)
+	b.maxPool("pool2", s, 2, 2, 0)
+	s = Shape{C: 64, H: 8, W: 8}
+	b.linear("fc1", int(s.Elems()), 384)
+	b.relu("relufc1", Shape{C: 384, H: 1, W: 1})
+	b.linear("fc2", 384, 10)
+	b.softmax("softmax", 10)
+	return b.finish()
+}
+
+// MLP builds a plain three-layer perceptron — a degenerate "network" with no
+// convolution at all, useful for exercising the scheduler with launch-bound
+// stages.
+func MLP(cm CostModel, in, hidden, out int) *Graph {
+	b := newBuilder("mlp", cm)
+	b.linear("fc1", in, hidden)
+	b.relu("relu1", Shape{C: hidden, H: 1, W: 1})
+	b.linear("fc2", hidden, hidden)
+	b.relu("relu2", Shape{C: hidden, H: 1, W: 1})
+	b.linear("fc3", hidden, out)
+	b.softmax("softmax", out)
+	return b.finish()
+}
+
+// Calibrate scales the graph's work so that its isolated latency on n
+// effective SMs equals targetMS under the speedup model, and returns the
+// applied factor. This pins simulated absolute time to a measured reference
+// point (the paper's full-device ResNet18 latency) while keeping every
+// relative cost intact.
+func Calibrate(g *Graph, m *speedup.Model, n, targetMS float64) float64 {
+	if targetMS <= 0 {
+		panic(fmt.Sprintf("dnn: target latency %v must be positive", targetMS))
+	}
+	cur := g.LatencyMS(m, n)
+	if cur <= 0 {
+		panic(fmt.Sprintf("dnn: graph %q has zero latency, cannot calibrate", g.Name))
+	}
+	factor := targetMS / cur
+	g.Scale(factor)
+	return factor
+}

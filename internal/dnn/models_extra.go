@@ -1,0 +1,206 @@
+package dnn
+
+import (
+	"fmt"
+
+	"sgprs/internal/speedup"
+)
+
+// This file extends the model zoo beyond the paper's ResNet18 benchmark so
+// heterogeneous multi-tenant workloads (the introduction's motivating case)
+// have realistic tenants to draw from.
+
+// ResNet34 builds the 34-layer basic-block ResNet for a 224x224x3 input:
+// the same stem and head as ResNet18 with 3/4/6/3 blocks per layer.
+func ResNet34(cm CostModel) *Graph {
+	return resNetBasic("resnet34", cm, [4]int{3, 4, 6, 3})
+}
+
+// resNetBasic builds a basic-block ResNet with the given per-layer block
+// counts.
+func resNetBasic(name string, cm CostModel, blocks [4]int) *Graph {
+	b := newBuilder(name, cm)
+	in := Shape{C: 3, H: 224, W: 224}
+	b.conv("conv1", in, 64, 7, 2, 3)
+	s := Shape{C: 64, H: 112, W: 112}
+	b.batchNorm("bn1", s)
+	b.relu("relu1", s)
+	b.maxPool("maxpool", s, 3, 2, 1)
+	s = Shape{C: 64, H: 56, W: 56}
+
+	channels := [4]int{64, 128, 256, 512}
+	for li := 0; li < 4; li++ {
+		stride := 2
+		if li == 0 {
+			stride = 1
+		}
+		for bi := 0; bi < blocks[li]; bi++ {
+			st := 1
+			if bi == 0 {
+				st = stride
+			}
+			s = basicBlock(b, fmt.Sprintf("layer%d.%d", li+1, bi), s, channels[li], st)
+		}
+	}
+	b.globalAvgPool("avgpool", s)
+	b.linear("fc", s.C, 1000)
+	b.softmax("softmax", 1000)
+	return b.finish()
+}
+
+// ResNet50 builds the 50-layer bottleneck ResNet for a 224x224x3 input
+// (3/4/6/3 bottleneck blocks with 4x channel expansion).
+func ResNet50(cm CostModel) *Graph {
+	b := newBuilder("resnet50", cm)
+	in := Shape{C: 3, H: 224, W: 224}
+	b.conv("conv1", in, 64, 7, 2, 3)
+	s := Shape{C: 64, H: 112, W: 112}
+	b.batchNorm("bn1", s)
+	b.relu("relu1", s)
+	b.maxPool("maxpool", s, 3, 2, 1)
+	s = Shape{C: 64, H: 56, W: 56}
+
+	blocks := [4]int{3, 4, 6, 3}
+	mid := [4]int{64, 128, 256, 512}
+	for li := 0; li < 4; li++ {
+		stride := 2
+		if li == 0 {
+			stride = 1
+		}
+		for bi := 0; bi < blocks[li]; bi++ {
+			st := 1
+			if bi == 0 {
+				st = stride
+			}
+			s = bottleneckBlock(b, fmt.Sprintf("layer%d.%d", li+1, bi), s, mid[li], st)
+		}
+	}
+	b.globalAvgPool("avgpool", s)
+	b.linear("fc", s.C, 1000)
+	b.softmax("softmax", 1000)
+	return b.finish()
+}
+
+// bottleneckBlock appends a ResNet bottleneck (1x1 reduce, 3x3, 1x1 expand
+// to 4·mid channels) with a projection shortcut on shape change.
+func bottleneckBlock(b *builder, name string, in Shape, mid, stride int) Shape {
+	blockIn := b.last
+	outC := 4 * mid
+	out := Shape{C: outC, H: (in.H-1)/stride + 1, W: (in.W-1)/stride + 1}
+	midShape := Shape{C: mid, H: out.H, W: out.W}
+
+	b.conv(name+".conv1", in, mid, 1, stride, 0)
+	b.batchNorm(name+".bn1", midShape)
+	b.relu(name+".relu1", midShape)
+	b.conv(name+".conv2", midShape, mid, 3, 1, 1)
+	b.batchNorm(name+".bn2", midShape)
+	b.relu(name+".relu2", midShape)
+	b.conv(name+".conv3", midShape, outC, 1, 1, 0)
+	main := b.batchNorm(name+".bn3", out)
+
+	shortcut := blockIn
+	if stride != 1 || in.C != outC {
+		b.conv(name+".downsample.conv", in, outC, 1, stride, 0, blockIn)
+		shortcut = b.batchNorm(name+".downsample.bn", out)
+	}
+	b.addResidual(name+".add", out, main, shortcut)
+	b.relu(name+".relu3", out)
+	return out
+}
+
+// MobileNetV1 builds the depthwise-separable MobileNet (width 1.0) for a
+// 224x224x3 input. Depthwise convolutions are modelled as convolution-class
+// work with MACs = elems·K² (one input channel per output channel) — their
+// low arithmetic intensity shows up as a larger memory-traffic share.
+func MobileNetV1(cm CostModel) *Graph {
+	b := newBuilder("mobilenetv1", cm)
+	s := Shape{C: 3, H: 224, W: 224}
+	b.conv("conv1", s, 32, 3, 2, 1)
+	s = Shape{C: 32, H: 112, W: 112}
+	b.batchNorm("bn1", s)
+	b.relu("relu1", s)
+
+	plan := []struct {
+		outC   int
+		stride int
+	}{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, p := range plan {
+		s = depthwiseSeparable(b, fmt.Sprintf("ds%d", i+1), s, p.outC, p.stride)
+	}
+	b.globalAvgPool("avgpool", s)
+	b.linear("fc", s.C, 1000)
+	b.softmax("softmax", 1000)
+	return b.finish()
+}
+
+// depthwiseSeparable appends a depthwise 3x3 + pointwise 1x1 pair, each with
+// batch norm and ReLU.
+func depthwiseSeparable(b *builder, name string, in Shape, outC, stride int) Shape {
+	dwOut := Shape{C: in.C, H: (in.H-1)/stride + 1, W: (in.W-1)/stride + 1}
+	// Depthwise: one filter per channel.
+	macs := dwOut.Elems() * 9
+	bytes := int64(elemBytes) * (in.Elems() + dwOut.Elems() + int64(in.C)*9)
+	b.add(name+".dw", speedup.Conv, dwOut, macs, bytes)
+	b.batchNorm(name+".dwbn", dwOut)
+	b.relu(name+".dwrelu", dwOut)
+	// Pointwise expansion.
+	b.conv(name+".pw", dwOut, outC, 1, 1, 0)
+	out := Shape{C: outC, H: dwOut.H, W: dwOut.W}
+	b.batchNorm(name+".pwbn", out)
+	b.relu(name+".pwrelu", out)
+	return out
+}
+
+// AlexNet builds the classic five-conv/three-FC network for a 224x224x3
+// input — a useful tenant with an unusually FC-heavy op mix.
+func AlexNet(cm CostModel) *Graph {
+	b := newBuilder("alexnet", cm)
+	s := Shape{C: 3, H: 224, W: 224}
+	b.conv("conv1", s, 64, 11, 4, 2)
+	s = Shape{C: 64, H: 55, W: 55}
+	b.relu("relu1", s)
+	b.maxPool("pool1", s, 3, 2, 0)
+	s = Shape{C: 64, H: 27, W: 27}
+	b.conv("conv2", s, 192, 5, 1, 2)
+	s = Shape{C: 192, H: 27, W: 27}
+	b.relu("relu2", s)
+	b.maxPool("pool2", s, 3, 2, 0)
+	s = Shape{C: 192, H: 13, W: 13}
+	b.conv("conv3", s, 384, 3, 1, 1)
+	s = Shape{C: 384, H: 13, W: 13}
+	b.relu("relu3", s)
+	b.conv("conv4", s, 256, 3, 1, 1)
+	s = Shape{C: 256, H: 13, W: 13}
+	b.relu("relu4", s)
+	b.conv("conv5", s, 256, 3, 1, 1)
+	b.relu("relu5", s)
+	b.maxPool("pool5", s, 3, 2, 0)
+	s = Shape{C: 256, H: 6, W: 6}
+	b.linear("fc1", int(s.Elems()), 4096)
+	b.relu("relufc1", Shape{C: 4096, H: 1, W: 1})
+	b.linear("fc2", 4096, 4096)
+	b.relu("relufc2", Shape{C: 4096, H: 1, W: 1})
+	b.linear("fc3", 4096, 1000)
+	b.softmax("softmax", 1000)
+	return b.finish()
+}
+
+// Zoo lists every network builder by name; tools use it for -net flags.
+func Zoo(cm CostModel) map[string]*Graph {
+	return map[string]*Graph{
+		"resnet18":    ResNet18(cm),
+		"resnet34":    ResNet34(cm),
+		"resnet50":    ResNet50(cm),
+		"mobilenetv1": MobileNetV1(cm),
+		"alexnet":     AlexNet(cm),
+		"vgg11":       VGG11(cm),
+		"tinycnn":     TinyCNN(cm),
+		"mlp":         MLP(cm, 784, 512, 10),
+	}
+}

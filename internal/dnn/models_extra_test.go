@@ -1,0 +1,129 @@
+package dnn
+
+import (
+	"testing"
+
+	"sgprs/internal/speedup"
+)
+
+func TestZooAllValid(t *testing.T) {
+	zoo := Zoo(DefaultCostModel())
+	if len(zoo) != 8 {
+		t.Fatalf("zoo has %d entries", len(zoo))
+	}
+	for name, g := range zoo {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.Name != name && name != "mlp" { // MLP keeps its generic name
+			if g.Name != name {
+				t.Errorf("zoo key %q has graph name %q", name, g.Name)
+			}
+		}
+		// Every network must be partitionable into the paper's six
+		// stages except the tiny ones.
+		want := 6
+		if name == "tinycnn" || name == "mlp" {
+			want = 2
+		}
+		if _, err := Partition(g, want); err != nil {
+			t.Errorf("%s: cannot partition into %d stages: %v", name, want, err)
+		}
+	}
+}
+
+func TestResNetFamilyMACs(t *testing.T) {
+	cm := DefaultCostModel()
+	cases := []struct {
+		g        *Graph
+		lo, hi   float64 // GMACs
+		numConvs int
+	}{
+		{ResNet18(cm), 1.7, 2.0, 20},
+		{ResNet34(cm), 3.4, 3.8, 36},
+		{ResNet50(cm), 3.8, 4.3, 53},
+	}
+	for _, c := range cases {
+		macs := float64(c.g.TotalMACs()) / 1e9
+		if macs < c.lo || macs > c.hi {
+			t.Errorf("%s MACs = %.2fG, want [%.1f, %.1f]", c.g.Name, macs, c.lo, c.hi)
+		}
+		convs := 0
+		for _, op := range c.g.Ops {
+			if op.Class == speedup.Conv {
+				convs++
+			}
+		}
+		if convs != c.numConvs {
+			t.Errorf("%s convs = %d, want %d", c.g.Name, convs, c.numConvs)
+		}
+	}
+}
+
+func TestMobileNetV1Shape(t *testing.T) {
+	g := MobileNetV1(DefaultCostModel())
+	// ~0.57 GMACs for width-1.0 MobileNetV1.
+	macs := float64(g.TotalMACs()) / 1e9
+	if macs < 0.5 || macs > 0.7 {
+		t.Errorf("MobileNetV1 MACs = %.2fG, want ~0.57", macs)
+	}
+	// Depthwise networks are memory-lean on compute: far cheaper than
+	// ResNet18 but with a lower composed speedup (less conv dominance).
+	r18 := ResNet18(DefaultCostModel())
+	if g.TotalMACs() >= r18.TotalMACs()/2 {
+		t.Error("MobileNetV1 should be much cheaper than ResNet18")
+	}
+	m := speedup.DefaultModel()
+	if g.Gain(m, 68) >= r18.Gain(m, 68) {
+		t.Errorf("MobileNetV1 gain %.1f should trail ResNet18 %.1f (memory-bound mix)",
+			g.Gain(m, 68), r18.Gain(m, 68))
+	}
+}
+
+func TestAlexNetFCHeavy(t *testing.T) {
+	g := AlexNet(DefaultCostModel())
+	var fcWork, total float64
+	for _, ws := range g.WorkByClass() {
+		total += ws.Work
+		if ws.Class == speedup.Linear {
+			fcWork = ws.Work
+		}
+	}
+	if frac := fcWork / total; frac < 0.05 {
+		t.Errorf("AlexNet FC share = %.3f, expected a substantial FC component", frac)
+	}
+}
+
+func TestResNet50DeeperThanResNet34(t *testing.T) {
+	cm := DefaultCostModel()
+	if len(ResNet50(cm).Ops) <= len(ResNet34(cm).Ops) {
+		t.Error("ResNet50 should have more ops than ResNet34")
+	}
+	if ResNet50(cm).TotalWorkMS() <= ResNet34(cm).TotalWorkMS() {
+		t.Error("ResNet50 should cost more than ResNet34")
+	}
+}
+
+func TestBottleneckChainProperty(t *testing.T) {
+	// Partition must keep the chain property on bottleneck graphs too.
+	g := ResNet50(DefaultCostModel())
+	stages, err := Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageOf := map[int]int{}
+	for _, st := range stages {
+		for _, op := range st.Ops {
+			stageOf[op.ID] = st.Index
+		}
+	}
+	for _, st := range stages {
+		for _, op := range st.Ops {
+			for _, in := range op.Inputs {
+				if d := st.Index - stageOf[in]; d != 0 && d != 1 {
+					t.Fatalf("edge %d->%d spans stages %d->%d", in, op.ID, stageOf[in], st.Index)
+				}
+			}
+		}
+	}
+}

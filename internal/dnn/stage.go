@@ -1,0 +1,159 @@
+package dnn
+
+import (
+	"fmt"
+
+	"sgprs/internal/speedup"
+)
+
+// Stage is one pipeline stage (the paper's sub-task τᵢʲ): a contiguous run of
+// operations whose only external interface is the final tensor of the
+// previous stage. Stages of one network form a chain.
+type Stage struct {
+	Index  int
+	Ops    []*Op
+	WorkMS float64             // total single-SM milliseconds
+	Shares []speedup.WorkShare // per-class work, for composed speedup
+}
+
+// Kernels reports how many kernels (operations) the stage launches.
+func (s *Stage) Kernels() int { return len(s.Ops) }
+
+// Gain reports the stage's composed speedup at n effective SMs.
+func (s *Stage) Gain(m *speedup.Model, n float64) float64 {
+	return m.Aggregate(s.Shares, n)
+}
+
+// LatencyMS reports the stage's isolated latency at n effective SMs.
+func (s *Stage) LatencyMS(m *speedup.Model, n float64) float64 {
+	g := s.Gain(m, n)
+	if g <= 0 {
+		return 0
+	}
+	return s.WorkMS / g
+}
+
+// Name returns a compact identifier: the names of the first and last ops.
+func (s *Stage) Name() string {
+	if len(s.Ops) == 0 {
+		return fmt.Sprintf("stage%d(empty)", s.Index)
+	}
+	return fmt.Sprintf("stage%d(%s..%s)", s.Index, s.Ops[0].Name, s.Ops[len(s.Ops)-1].Name)
+}
+
+// Partition splits g into exactly k chained stages, cutting only at valid cut
+// points (single-tensor interfaces) and balancing single-SM work so the
+// largest stage is as small as possible. The paper divides ResNet18 into six
+// stages; Partition generalises that to any network and stage count.
+//
+// It returns an error when k exceeds the number of cuttable segments: the
+// caller asked for more pipeline stages than the DAG structure admits.
+func Partition(g *Graph, k int) ([]*Stage, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dnn: stage count %d must be positive", k)
+	}
+	cuts := g.CutPoints()
+	// Atom boundaries: ops (start..cut0], (cut0..cut1], ..., (cutM..end].
+	bounds := make([]int, 0, len(cuts)+1)
+	bounds = append(bounds, cuts...)
+	bounds = append(bounds, len(g.Ops)-1)
+	numAtoms := len(bounds)
+	if k > numAtoms {
+		return nil, fmt.Errorf("dnn: graph %q admits at most %d stages, requested %d", g.Name, numAtoms, k)
+	}
+
+	atomWork := make([]float64, numAtoms)
+	prev := -1
+	for i, b := range bounds {
+		for j := prev + 1; j <= b; j++ {
+			atomWork[i] += g.Ops[j].WorkMS
+		}
+		prev = b
+	}
+
+	groups := balancedPartition(atomWork, k)
+
+	stages := make([]*Stage, k)
+	atom := 0
+	opStart := 0
+	for si, take := range groups {
+		last := bounds[atom+take-1]
+		st := &Stage{Index: si}
+		for j := opStart; j <= last; j++ {
+			st.Ops = append(st.Ops, g.Ops[j])
+			st.WorkMS += g.Ops[j].WorkMS
+		}
+		st.Shares = workShares(st.Ops)
+		stages[si] = st
+		atom += take
+		opStart = last + 1
+	}
+	return stages, nil
+}
+
+func workShares(ops []*Op) []speedup.WorkShare {
+	acc := make(map[speedup.Class]float64)
+	for _, op := range ops {
+		acc[op.Class] += op.WorkMS
+	}
+	var out []speedup.WorkShare
+	for _, cl := range speedup.Classes() {
+		if w := acc[cl]; w > 0 {
+			out = append(out, speedup.WorkShare{Class: cl, Work: w})
+		}
+	}
+	return out
+}
+
+// balancedPartition splits the atom sequence into exactly k contiguous
+// non-empty groups minimising the maximum group sum (classic linear
+// partition DP), returning the group sizes in order.
+func balancedPartition(work []float64, k int) []int {
+	n := len(work)
+	prefix := make([]float64, n+1)
+	for i, w := range work {
+		prefix[i+1] = prefix[i] + w
+	}
+	sum := func(i, j int) float64 { return prefix[j] - prefix[i] } // [i, j)
+
+	const inf = 1e308
+	// dp[m][i] = minimal max-sum splitting work[:i] into m groups.
+	dp := make([][]float64, k+1)
+	cut := make([][]int, k+1)
+	for m := range dp {
+		dp[m] = make([]float64, n+1)
+		cut[m] = make([]int, n+1)
+		for i := range dp[m] {
+			dp[m][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for m := 1; m <= k; m++ {
+		for i := m; i <= n-(k-m); i++ {
+			for j := m - 1; j < i; j++ {
+				if dp[m-1][j] == inf {
+					continue
+				}
+				cand := dp[m-1][j]
+				if s := sum(j, i); s > cand {
+					cand = s
+				}
+				if cand < dp[m][i] {
+					dp[m][i] = cand
+					cut[m][i] = j
+				}
+			}
+		}
+	}
+	sizes := make([]int, k)
+	i := n
+	for m := k; m >= 1; m-- {
+		j := cut[m][i]
+		sizes[m-1] = i - j
+		i = j
+	}
+	return sizes
+}

@@ -1,0 +1,108 @@
+package gpu
+
+import "fmt"
+
+// Priority is a CUDA stream priority. The hardware exposes two levels; the
+// scheduler's third, logical "medium" level (promoted stages) is mapped onto
+// these by the scheduling layer.
+type Priority int
+
+// Stream priorities. HighPriority streams receive a larger SM share when
+// competing inside one context, modelling the preferential block dispatch of
+// CUDA priority streams.
+const (
+	LowPriority Priority = iota
+	HighPriority
+)
+
+// String names the priority for traces.
+func (p Priority) String() string {
+	switch p {
+	case LowPriority:
+		return "low"
+	case HighPriority:
+		return "high"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// weight is the SM-sharing weight within a context. High-priority kernels get
+// a 3:1 edge over low-priority ones, approximating CUDA's greedy
+// high-priority block scheduling without full preemption.
+func (p Priority) weight() float64 {
+	if p == HighPriority {
+		return 3
+	}
+	return 1
+}
+
+// Context is a pre-created CUDA-like context owning a fixed SM allocation.
+// Moving work between contexts carries no reconfiguration cost — the
+// "seamless partition switch" that SGPRS exploits. Streams are created once,
+// up front, mirroring the paper's fixed two-high/two-low layout.
+type Context struct {
+	device  *Device
+	id      int
+	name    string
+	sms     int
+	streams []*Stream
+
+	activeKernels int // kernels currently executing in this context
+}
+
+// ID reports the context's index in creation order.
+func (c *Context) ID() int { return c.id }
+
+// Name reports the diagnostic name.
+func (c *Context) Name() string { return c.name }
+
+// SMs reports the context's SM allocation.
+func (c *Context) SMs() int { return c.sms }
+
+// Streams lists the context's streams in creation order.
+func (c *Context) Streams() []*Stream { return c.streams }
+
+// ActiveKernels reports how many kernels are executing right now.
+func (c *Context) ActiveKernels() int { return c.activeKernels }
+
+// AddStream creates a stream with the given priority.
+func (c *Context) AddStream(name string, p Priority) *Stream {
+	s := &Stream{
+		ctx:      c,
+		id:       len(c.streams),
+		name:     name,
+		priority: p,
+	}
+	c.streams = append(c.streams, s)
+	return s
+}
+
+// Busy reports whether any stream of the context is occupied (running or
+// queued work).
+func (c *Context) Busy() bool {
+	for _, s := range c.streams {
+		if s.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedKernels reports the total number of kernels queued or running across
+// the context's streams.
+func (c *Context) QueuedKernels() int {
+	n := 0
+	for _, s := range c.streams {
+		n += s.QueueLen()
+		if s.running != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders "ctx0(name,34sm)".
+func (c *Context) String() string {
+	return fmt.Sprintf("ctx%d(%s,%dsm)", c.id, c.name, c.sms)
+}

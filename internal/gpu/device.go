@@ -1,0 +1,203 @@
+// Package gpu is a discrete-event model of a spatially partitioned NVIDIA
+// GPU: a pool of streaming multiprocessors (SMs) carved into CUDA-like
+// contexts, each exposing priority streams that execute kernels.
+//
+// This is the substitute for the paper's RTX 2080 Ti + CUDA MPS substrate
+// (see DESIGN.md §2). The model reproduces the timing phenomena the
+// schedulers react to:
+//
+//   - sub-linear per-kernel speedup in the SM count (package speedup);
+//   - spatial sharing: concurrent kernels within a context split its SMs,
+//     weighted by stream priority;
+//   - over-subscription: when the summed SM demand of busy contexts exceeds
+//     the device, every kernel's effective share shrinks proportionally, a
+//     deterministic contention penalty grows with the over-subscription
+//     ratio, and a seeded per-kernel jitter widens execution-time variance
+//     (the paper's "poor predictability");
+//   - a device-wide aggregate throughput ceiling (DRAM bandwidth bound), so
+//     carving more partitions cannot multiply total throughput without bound;
+//   - per-kernel launch overhead and non-scalable fixed time (synchronous
+//     launch and reconfiguration costs are modelled as fixed milliseconds
+//     that no amount of SMs shrinks).
+//
+// Execution is processor sharing: whenever the set of running kernels
+// changes, every kernel's progress is banked and its completion event is
+// recomputed from the new rates. All randomness is drawn from seeded streams,
+// so runs are exactly reproducible.
+package gpu
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+	"sgprs/internal/speedup"
+)
+
+// Config holds the device parameters. The zero Config is invalid; start from
+// DefaultConfig.
+type Config struct {
+	// TotalSMs is the number of streaming multiprocessors on the device.
+	TotalSMs int
+	// AggregateGainCap is the device-wide ceiling on the sum of concurrent
+	// kernels' speedup gains — the DRAM-bandwidth bound. When concurrent
+	// kernels' combined gain exceeds it, all rates scale down
+	// proportionally.
+	AggregateGainCap float64
+	// LaunchOverhead is the host-side latency between a kernel reaching
+	// the head of its stream and starting to execute.
+	LaunchOverhead des.Time
+	// ContentionPenalty is the deterministic slowdown coefficient applied
+	// under over-subscription: every running kernel's gain is divided by
+	// 1 + ContentionPenalty·(ratio−1)² where ratio = demanded/total SMs.
+	// The quadratic keeps mild over-subscription nearly free while making
+	// heavy over-subscription (Scenario 2 at 2.0x) genuinely costly.
+	ContentionPenalty float64
+	// ContentionJitter scales the seeded per-kernel slowdown spread under
+	// over-subscription: each kernel draws u ∈ [0,1) at start and its gain
+	// is further divided by 1 + ContentionJitter·(ratio−1)·u.
+	ContentionJitter float64
+	// Seed feeds every stochastic draw in the device.
+	Seed uint64
+}
+
+// DefaultConfig returns the calibrated RTX 2080 Ti model parameters.
+func DefaultConfig() Config {
+	return Config{
+		TotalSMs: speedup.DeviceSMs,
+		// ≈ the full-device composed ResNet18 gain: a saturated device
+		// retires ~1/1.4ms inferences per second in aggregate no
+		// matter how it is partitioned (DESIGN.md §4).
+		AggregateGainCap:  23.3,
+		LaunchOverhead:    des.FromMicros(8),
+		ContentionPenalty: 0.008,
+		ContentionJitter:  0.03,
+		Seed:              1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.TotalSMs <= 0 {
+		return fmt.Errorf("gpu: TotalSMs %d must be positive", c.TotalSMs)
+	}
+	if c.AggregateGainCap <= 0 {
+		return fmt.Errorf("gpu: AggregateGainCap %v must be positive", c.AggregateGainCap)
+	}
+	if c.LaunchOverhead < 0 {
+		return fmt.Errorf("gpu: LaunchOverhead %v must be non-negative", c.LaunchOverhead)
+	}
+	if c.ContentionPenalty < 0 || c.ContentionJitter < 0 {
+		return fmt.Errorf("gpu: contention coefficients must be non-negative")
+	}
+	return nil
+}
+
+// Device is the simulated GPU. It is driven by a des.Engine and is not safe
+// for concurrent use (the engine is single-threaded by design).
+type Device struct {
+	eng      *des.Engine
+	model    *speedup.Model
+	cfg      Config
+	rng      *des.RNG
+	contexts []*Context
+
+	running    map[*Kernel]struct{}
+	lastUpdate des.Time
+	observer   Observer
+
+	// Accounting.
+	completedKernels uint64
+	busySMTime       float64 // ∫ (effective SMs in use) dt, in SM·seconds
+	workDone         float64 // single-SM milliseconds retired
+}
+
+// NewDevice builds a device on the given engine with the given speedup model.
+func NewDevice(eng *des.Engine, model *speedup.Model, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || model == nil {
+		return nil, fmt.Errorf("gpu: nil engine or model")
+	}
+	return &Device{
+		eng:     eng,
+		model:   model,
+		cfg:     cfg,
+		rng:     des.NewRNG(cfg.Seed).Fork(0xDE71CE),
+		running: map[*Kernel]struct{}{},
+	}, nil
+}
+
+// Observer receives kernel lifecycle callbacks, e.g. for execution tracing.
+// Callbacks run synchronously on the simulation goroutine; observers must not
+// mutate device state.
+type Observer interface {
+	// KernelStarted fires when a kernel begins executing on its stream.
+	KernelStarted(k *Kernel, now des.Time)
+	// KernelFinished fires when a kernel completes.
+	KernelFinished(k *Kernel, now des.Time)
+}
+
+// SetObserver installs the lifecycle observer (nil to remove).
+func (d *Device) SetObserver(o Observer) { d.observer = o }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Model returns the speedup model the device executes against.
+func (d *Device) Model() *speedup.Model { return d.model }
+
+// Engine returns the simulation engine driving the device.
+func (d *Device) Engine() *des.Engine { return d.eng }
+
+// Contexts lists the created contexts in creation order.
+func (d *Device) Contexts() []*Context { return d.contexts }
+
+// CompletedKernels reports how many kernels have finished.
+func (d *Device) CompletedKernels() uint64 { return d.completedKernels }
+
+// BusySMSeconds reports the integral of in-use effective SMs over time.
+func (d *Device) BusySMSeconds() float64 { return d.busySMTime }
+
+// Utilization reports mean device utilisation in [0,1] over the elapsed
+// simulated time (effective busy SM-time over total SM-time).
+func (d *Device) Utilization() float64 {
+	elapsed := d.eng.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return d.busySMTime / (elapsed * float64(d.cfg.TotalSMs))
+}
+
+// CreateContext carves a context with the given SM allocation. Allocations
+// may over-subscribe the device in total (that is the point of the paper's
+// context pool), but a single context can never exceed the device.
+func (d *Device) CreateContext(name string, sms int) (*Context, error) {
+	if sms <= 0 {
+		return nil, fmt.Errorf("gpu: context %q SM count %d must be positive", name, sms)
+	}
+	if sms > d.cfg.TotalSMs {
+		return nil, fmt.Errorf("gpu: context %q wants %d SMs, device has %d", name, sms, d.cfg.TotalSMs)
+	}
+	ctx := &Context{
+		device: d,
+		id:     len(d.contexts),
+		name:   name,
+		sms:    sms,
+	}
+	d.contexts = append(d.contexts, ctx)
+	return ctx, nil
+}
+
+// DemandRatio reports the current total SM demand of busy contexts divided by
+// the device's SM count. Values above 1 mean the device is over-subscribed at
+// this instant.
+func (d *Device) DemandRatio() float64 {
+	demand := 0
+	for _, ctx := range d.contexts {
+		if ctx.activeKernels > 0 {
+			demand += ctx.sms
+		}
+	}
+	return float64(demand) / float64(d.cfg.TotalSMs)
+}

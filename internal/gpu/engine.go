@@ -1,0 +1,244 @@
+package gpu
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+)
+
+// workEpsilon absorbs floating-point residue when deciding that a kernel's
+// remaining work has hit zero.
+const workEpsilon = 1e-9
+
+// pump starts the next queued kernel on s if the stream is idle. The kernel
+// begins executing after the device's launch overhead.
+func (d *Device) pump(s *Stream) {
+	if s.running != nil || len(s.queue) == 0 {
+		return
+	}
+	k := s.queue[0]
+	s.queue = s.queue[1:]
+	s.running = k
+	d.eng.After(d.cfg.LaunchOverhead, "gpu.launch:"+k.Label, func(now des.Time) {
+		d.start(k, now)
+	})
+}
+
+// start admits k into the running set and recomputes all rates.
+func (d *Device) start(k *Kernel, now des.Time) {
+	d.advance(now)
+	k.started = true
+	k.startedAt = now
+	k.jitterU = d.rng.Float64()
+	k.stream.ctx.activeKernels++
+	d.running[k] = struct{}{}
+	if d.observer != nil {
+		d.observer.KernelStarted(k, now)
+	}
+	if k.OnStart != nil {
+		k.OnStart(now)
+	}
+	d.recompute(now)
+}
+
+// advance banks every running kernel's progress for the interval
+// [lastUpdate, now] at the rates fixed by the previous recompute.
+func (d *Device) advance(now des.Time) {
+	dtMS := float64(now-d.lastUpdate) / float64(des.Millisecond)
+	d.lastUpdate = now
+	if dtMS <= 0 {
+		return
+	}
+	for k := range d.running {
+		remaining := dtMS
+		if k.remainingFixed > 0 {
+			df := remaining
+			if df > k.remainingFixed {
+				df = k.remainingFixed
+			}
+			k.remainingFixed -= df
+			remaining -= df
+		}
+		if remaining > 0 && k.remainingWork > 0 {
+			done := remaining * k.rate
+			if done > k.remainingWork {
+				done = k.remainingWork
+			}
+			k.remainingWork -= done
+			d.workDone += done
+			d.busySMTime += k.effSMs * remaining / 1000
+		}
+	}
+}
+
+// recompute reassigns effective SM shares and rates to every running kernel
+// and reschedules their completion events. It implements the four-layer
+// sharing model described in the package comment.
+func (d *Device) recompute(now des.Time) {
+	// Per-context priority-weight sums and total demand.
+	weightSum := make([]float64, len(d.contexts))
+	demand := 0
+	for _, ctx := range d.contexts {
+		if ctx.activeKernels > 0 {
+			demand += ctx.sms
+		}
+	}
+	for k := range d.running {
+		weightSum[k.stream.ctx.id] += k.stream.priority.weight()
+	}
+	ratio := float64(demand) / float64(d.cfg.TotalSMs)
+
+	// SM allocation per context by two-level waterfilling: the device's
+	// SMs go to busy contexts in proportion to their active kernel
+	// weight, but a context can never exceed its own SM allocation.
+	// When the pool is not over-subscribed every busy context simply
+	// receives its full allocation; when it is, SMs follow the load —
+	// which is exactly the benefit of larger (over-subscribed) contexts:
+	// a context with more runnable work can soak up SMs a rigid small
+	// partition could not.
+	alloc := d.waterfill(weightSum)
+
+	// First pass: raw gains from intra-context weighted splits.
+	var gainSum float64
+	for k := range d.running {
+		ctx := k.stream.ctx
+		share := alloc[ctx.id] * k.stream.priority.weight() / weightSum[ctx.id]
+		k.effSMs = share
+		gain := d.model.Aggregate(k.Shares, k.effSMs)
+		if k.remainingWork > workEpsilon && gain <= 0 {
+			panic(fmt.Sprintf("gpu: kernel %q has work but zero gain at %.2f SMs", k.Label, k.effSMs))
+		}
+		k.rate = gain
+		gainSum += gain
+	}
+
+	// Bandwidth ceiling: proportional scale-down when the sum of gains
+	// exceeds the device's aggregate cap. It models cross-kernel DRAM
+	// contention and therefore never binds a lone kernel — a single
+	// kernel's memory limits are already encoded in its class curve
+	// (that is what Figure 1 measures in isolation). Over-subscription
+	// wastes a slice of the ceiling itself (context interleaving,
+	// thrashed L2): the deterministic contention penalty shrinks the
+	// effective cap as the demand ratio grows.
+	if len(d.running) >= 2 {
+		cap := d.cfg.AggregateGainCap
+		if ratio > 1 {
+			over := ratio - 1
+			cap /= 1 + d.cfg.ContentionPenalty*over*over
+		}
+		if gainSum > cap {
+			f := cap / gainSum
+			for k := range d.running {
+				k.rate *= f
+			}
+		}
+	}
+
+	// Per-kernel contention jitter applies after the ceiling: it is
+	// variance the ceiling cannot renormalise away — the paper's "poor
+	// predictability" under heavy over-subscription.
+	if ratio > 1 {
+		over := ratio - 1
+		for k := range d.running {
+			k.rate /= 1 + d.cfg.ContentionJitter*over*k.jitterU
+		}
+	}
+
+	// Reschedule completions.
+	for k := range d.running {
+		var msLeft float64
+		switch {
+		case k.remainingWork > workEpsilon:
+			msLeft = k.remainingFixed + k.remainingWork/k.rate
+		default:
+			msLeft = k.remainingFixed
+		}
+		// Ceil to the next nanosecond so the finish event never fires
+		// before the work is actually done.
+		at := now.Add(des.Time(msLeft*float64(des.Millisecond)) + 1)
+		if k.finishEv == nil {
+			kk := k
+			k.finishEv = d.eng.Schedule(at, "gpu.finish:"+k.Label, func(t des.Time) {
+				d.complete(kk, t)
+			})
+		} else {
+			d.eng.Reschedule(k.finishEv, at)
+		}
+	}
+}
+
+// waterfill distributes the device's SMs across busy contexts in proportion
+// to their active kernel weights, capping each context at its own SM
+// allocation and redistributing the surplus until it is absorbed. The result
+// is indexed by context ID; idle contexts get zero.
+func (d *Device) waterfill(weightSum []float64) []float64 {
+	alloc := make([]float64, len(d.contexts))
+	capped := make([]bool, len(d.contexts))
+	remaining := float64(d.cfg.TotalSMs)
+	for {
+		var openWeight float64
+		for _, ctx := range d.contexts {
+			if weightSum[ctx.id] > 0 && !capped[ctx.id] {
+				openWeight += weightSum[ctx.id]
+			}
+		}
+		if openWeight == 0 || remaining <= 0 {
+			return alloc
+		}
+		progress := false
+		for _, ctx := range d.contexts {
+			if weightSum[ctx.id] == 0 || capped[ctx.id] {
+				continue
+			}
+			want := remaining * weightSum[ctx.id] / openWeight
+			if want >= float64(ctx.sms) {
+				alloc[ctx.id] = float64(ctx.sms)
+				capped[ctx.id] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// Nobody hit a cap: the proportional split stands.
+			for _, ctx := range d.contexts {
+				if weightSum[ctx.id] > 0 && !capped[ctx.id] {
+					alloc[ctx.id] = remaining * weightSum[ctx.id] / openWeight
+				}
+			}
+			return alloc
+		}
+		// Recompute the pot after removing capped contexts.
+		remaining = float64(d.cfg.TotalSMs)
+		for _, ctx := range d.contexts {
+			if capped[ctx.id] {
+				remaining -= float64(ctx.sms)
+			}
+		}
+	}
+}
+
+// complete retires k, recomputes the remaining kernels, and pumps the stream.
+func (d *Device) complete(k *Kernel, now des.Time) {
+	d.advance(now)
+	// The finish instant is rounded to nanoseconds, so up to ~1ns of rate
+	// can remain numerically; anything beyond that is an engine bug.
+	slack := 1e-5 * (1 + k.rate)
+	if k.remainingWork > slack || k.remainingFixed > slack {
+		panic(fmt.Sprintf("gpu: kernel %q completed with %.3g ms work and %.3g ms fixed left",
+			k.Label, k.remainingWork, k.remainingFixed))
+	}
+	delete(d.running, k)
+	k.started = false
+	k.finishEv = nil
+	k.stream.ctx.activeKernels--
+	s := k.stream
+	s.running = nil
+	d.completedKernels++
+	d.recompute(now)
+	if d.observer != nil {
+		d.observer.KernelFinished(k, now)
+	}
+	if k.OnComplete != nil {
+		k.OnComplete(now)
+	}
+	d.pump(s)
+}

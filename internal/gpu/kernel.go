@@ -1,0 +1,131 @@
+package gpu
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+	"sgprs/internal/speedup"
+)
+
+// Kernel is a unit of GPU execution: a bundle of work (single-SM
+// milliseconds, split by speedup class) plus an optional fixed,
+// non-scalable time component.
+//
+// Fixed time models host-side serialisation — synchronous per-op launch gaps
+// and partition reconfiguration — which no SM count shrinks. It is consumed
+// at wall-clock rate before the scalable work begins.
+type Kernel struct {
+	Label string
+	// Shares is the scalable work by speedup class, in single-SM ms.
+	Shares []speedup.WorkShare
+	// FixedMS is non-scalable time in milliseconds.
+	FixedMS float64
+	// OnStart fires when the kernel begins executing (after launch
+	// overhead), OnComplete when it finishes. Either may be nil.
+	OnStart    func(now des.Time)
+	OnComplete func(now des.Time)
+
+	stream *Stream
+
+	// Execution state, owned by the device.
+	remainingFixed float64 // ms
+	remainingWork  float64 // single-SM ms
+	rate           float64 // single-SM ms retired per wall ms (current gain)
+	effSMs         float64
+	jitterU        float64 // per-kernel uniform draw for contention jitter
+	started        bool
+	finishEv       *des.Event
+	startedAt      des.Time
+}
+
+// totalWork sums the scalable work across classes.
+func (k *Kernel) totalWork() float64 {
+	var w float64
+	for _, s := range k.Shares {
+		if s.Work < 0 {
+			panic(fmt.Sprintf("gpu: kernel %q has negative work", k.Label))
+		}
+		w += s.Work
+	}
+	return w
+}
+
+// Running reports whether the kernel is currently executing.
+func (k *Kernel) Running() bool { return k.started }
+
+// StartedAt reports when execution began (zero until started).
+func (k *Kernel) StartedAt() des.Time { return k.startedAt }
+
+// EffectiveSMs reports the kernel's current effective SM share (diagnostic).
+func (k *Kernel) EffectiveSMs() float64 { return k.effSMs }
+
+// IsolatedLatencyMS predicts the kernel's latency if it ran alone in a
+// context of n SMs on a device using model m, with no contention. This is
+// what the offline profiler measures and what WCET estimates derive from.
+func (k *Kernel) IsolatedLatencyMS(m *speedup.Model, n float64) float64 {
+	work := k.totalWork()
+	if work == 0 {
+		return k.FixedMS
+	}
+	g := m.Aggregate(k.Shares, n)
+	if g <= 0 {
+		return 0
+	}
+	return k.FixedMS + work/g
+}
+
+// Stream is an in-order kernel queue within a context, with a fixed priority,
+// mirroring a CUDA stream. Kernels on one stream serialise; kernels on
+// different streams of one context run concurrently and share its SMs.
+type Stream struct {
+	ctx      *Context
+	id       int
+	name     string
+	priority Priority
+
+	queue   []*Kernel
+	running *Kernel
+}
+
+// Context returns the owning context.
+func (s *Stream) Context() *Context { return s.ctx }
+
+// Priority reports the stream's priority.
+func (s *Stream) Priority() Priority { return s.priority }
+
+// Name reports the diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// QueueLen reports the number of kernels waiting (excluding a running one).
+func (s *Stream) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether the stream has running or queued work.
+func (s *Stream) Busy() bool { return s.running != nil || len(s.queue) > 0 }
+
+// Running returns the currently executing kernel, or nil.
+func (s *Stream) Running() *Kernel { return s.running }
+
+// String renders "ctx0/s1(high)".
+func (s *Stream) String() string {
+	return fmt.Sprintf("%s/s%d(%s)", s.ctx.name, s.id, s.priority)
+}
+
+// Submit enqueues k on the stream. If the stream is idle the kernel starts
+// after the device's launch overhead. Submitting a kernel twice or to a
+// foreign device is a programming error and panics.
+func (s *Stream) Submit(k *Kernel) {
+	if k.stream != nil {
+		panic(fmt.Sprintf("gpu: kernel %q submitted twice", k.Label))
+	}
+	if k.totalWork() == 0 && k.FixedMS <= 0 {
+		panic(fmt.Sprintf("gpu: kernel %q has no work", k.Label))
+	}
+	k.stream = s
+	k.remainingFixed = k.FixedMS
+	k.remainingWork = k.totalWork()
+	s.queue = append(s.queue, k)
+	s.ctx.device.pump(s)
+}
+
+// Stream returns the stream the kernel was submitted to (nil before Submit).
+func (k *Kernel) Stream() *Stream { return k.stream }

@@ -1,0 +1,152 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sgprs/internal/des"
+	"sgprs/internal/speedup"
+)
+
+// TestWaterfillWorkConserving: with over-subscribed contexts and uneven
+// load, the busier context must receive more SMs — the benefit larger
+// partitions buy (DESIGN.md §4, layer 2).
+func TestWaterfillWorkConserving(t *testing.T) {
+	eng, dev := newTestDevice(t, quietConfig())
+	// Two 68-SM contexts (2x over-subscription): 1 kernel in A, 3 in B.
+	a, _ := dev.CreateContext("a", 68)
+	bctx, _ := dev.CreateContext("b", 68)
+	var aSMs, bSMs float64
+	ka := convKernel("ka", 50)
+	streams := []*Stream{
+		bctx.AddStream("s0", LowPriority),
+		bctx.AddStream("s1", LowPriority),
+		bctx.AddStream("s2", LowPriority),
+	}
+	var kbs []*Kernel
+	for _, s := range streams {
+		kb := convKernel("kb", 50)
+		kbs = append(kbs, kb)
+		s.Submit(kb)
+	}
+	a.AddStream("s", LowPriority).Submit(ka)
+	// Sample effective SMs shortly after all four started.
+	eng.After(des.FromMillis(1), "sample", func(des.Time) {
+		aSMs = ka.EffectiveSMs()
+		for _, kb := range kbs {
+			bSMs += kb.EffectiveSMs()
+		}
+		eng.Stop()
+	})
+	eng.Run()
+	// Weights 1 vs 3 → A gets 17, B gets 51 (both under their 68 caps).
+	if math.Abs(aSMs-17) > 0.01 || math.Abs(bSMs-51) > 0.01 {
+		t.Errorf("allocation A=%v B=%v, want 17/51 (load-proportional)", aSMs, bSMs)
+	}
+}
+
+// TestWaterfillRigidAtNoOversubscription: with disjoint partitions (no
+// over-subscription) each busy context gets exactly its own allocation, no
+// matter how uneven the load — the rigidity the paper's Scenario 1 os=1.0
+// suffers from.
+func TestWaterfillRigidAtNoOversubscription(t *testing.T) {
+	eng, dev := newTestDevice(t, quietConfig())
+	a, _ := dev.CreateContext("a", 34)
+	bctx, _ := dev.CreateContext("b", 34)
+	ka := convKernel("ka", 50)
+	kb1 := convKernel("kb1", 50)
+	kb2 := convKernel("kb2", 50)
+	a.AddStream("s", LowPriority).Submit(ka)
+	bctx.AddStream("s0", LowPriority).Submit(kb1)
+	bctx.AddStream("s1", LowPriority).Submit(kb2)
+	eng.After(des.FromMillis(1), "sample", func(des.Time) {
+		if math.Abs(ka.EffectiveSMs()-34) > 0.01 {
+			t.Errorf("A kernel = %v SMs, want its full 34", ka.EffectiveSMs())
+		}
+		if math.Abs(kb1.EffectiveSMs()-17) > 0.01 || math.Abs(kb2.EffectiveSMs()-17) > 0.01 {
+			t.Errorf("B kernels = %v/%v SMs, want 17 each", kb1.EffectiveSMs(), kb2.EffectiveSMs())
+		}
+		eng.Stop()
+	})
+	eng.Run()
+}
+
+// Property: waterfill never allocates more than a context's own SMs, never
+// more than the device in total, and gives every loaded context a positive
+// share.
+func TestWaterfillBoundsProperty(t *testing.T) {
+	f := func(rawSMs [4]uint8, rawLoad [4]uint8) bool {
+		eng := des.NewEngine()
+		dev, err := NewDevice(eng, speedup.DefaultModel(), quietConfig())
+		if err != nil {
+			return false
+		}
+		weight := make([]float64, 0, 4)
+		var ctxs []*Context
+		for i := 0; i < 4; i++ {
+			sms := int(rawSMs[i]%68) + 1
+			ctx, err := dev.CreateContext("c", sms)
+			if err != nil {
+				return false
+			}
+			ctxs = append(ctxs, ctx)
+			weight = append(weight, float64(rawLoad[i]%5))
+		}
+		alloc := dev.waterfill(weight)
+		var total float64
+		for i, ctx := range ctxs {
+			if alloc[i] < 0 || alloc[i] > float64(ctx.sms)+1e-9 {
+				return false
+			}
+			if weight[i] > 0 && alloc[i] <= 0 {
+				return false
+			}
+			if weight[i] == 0 && alloc[i] != 0 {
+				return false
+			}
+			total += alloc[i]
+		}
+		return total <= float64(dev.cfg.TotalSMs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when total demand fits the device, every loaded context receives
+// exactly its full allocation (waterfilling degenerates to rigid partitions).
+func TestWaterfillFullAllocationProperty(t *testing.T) {
+	f := func(rawSMs [3]uint8, rawLoad [3]uint8) bool {
+		eng := des.NewEngine()
+		dev, err := NewDevice(eng, speedup.DefaultModel(), quietConfig())
+		if err != nil {
+			return false
+		}
+		weight := make([]float64, 0, 3)
+		var sms []int
+		budget := 68
+		for i := 0; i < 3; i++ {
+			s := int(rawSMs[i]%20) + 1 // ≤ 60 total: never over-subscribed
+			budget -= s
+			sms = append(sms, s)
+			if _, err := dev.CreateContext("c", s); err != nil {
+				return false
+			}
+			weight = append(weight, float64(rawLoad[i]%3))
+		}
+		if budget < 0 {
+			return true
+		}
+		alloc := dev.waterfill(weight)
+		for i := range sms {
+			if weight[i] > 0 && math.Abs(alloc[i]-float64(sms[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package metrics computes the paper's evaluation metrics from completed
+// simulation runs: total FPS, deadline miss rate (DMR), response-time
+// statistics, and the pivot point of a task-count sweep.
+package metrics
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+	"sgprs/internal/rt"
+	"sgprs/internal/stats"
+)
+
+// Summary is the measured outcome of one simulation run.
+type Summary struct {
+	// Window is the measurement interval (warm-up excluded).
+	WarmUp, Horizon des.Time
+
+	// Released counts jobs released inside the window whose deadline also
+	// falls inside it (so "missed" is decidable for each of them).
+	Released int
+	// Completed counts inferences finished inside the window, late or
+	// not — the paper's total-FPS numerator.
+	Completed int
+	// Missed counts released jobs that finished after their deadline or
+	// did not finish at all.
+	Missed int
+
+	// TotalFPS is Completed per second of window.
+	TotalFPS float64
+	// DMR is Missed/Released in [0,1].
+	DMR float64
+
+	// Response-time statistics over completed released jobs, milliseconds.
+	RespMeanMS, RespP50MS, RespP99MS, RespMaxMS float64
+}
+
+// String renders a one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("fps=%.1f dmr=%.4f released=%d completed=%d missed=%d resp(mean=%.2fms p99=%.2fms)",
+		s.TotalFPS, s.DMR, s.Released, s.Completed, s.Missed, s.RespMeanMS, s.RespP99MS)
+}
+
+// Evaluate computes the run summary over [warmUp, horizon). Jobs released
+// during warm-up still count toward FPS if they complete inside the window
+// (the device was busy with them), but DMR is judged only on jobs whose
+// entire deadline window lies inside the measurement interval.
+func Evaluate(jobs []*rt.Job, warmUp, horizon des.Time) Summary {
+	if horizon <= warmUp {
+		panic(fmt.Sprintf("metrics: horizon %v not after warm-up %v", horizon, warmUp))
+	}
+	s := Summary{WarmUp: warmUp, Horizon: horizon}
+	var resp []float64
+	for _, j := range jobs {
+		if j.Done && j.FinishedAt >= warmUp && j.FinishedAt < horizon {
+			s.Completed++
+		}
+		if j.Release < warmUp || j.Deadline >= horizon {
+			continue
+		}
+		s.Released++
+		if j.Missed(horizon) {
+			s.Missed++
+		}
+		if j.Done {
+			resp = append(resp, j.ResponseTime().Milliseconds())
+		}
+	}
+	window := (horizon - warmUp).Seconds()
+	s.TotalFPS = float64(s.Completed) / window
+	if s.Released > 0 {
+		s.DMR = float64(s.Missed) / float64(s.Released)
+	}
+	if len(resp) > 0 {
+		s.RespMeanMS = stats.Mean(resp)
+		s.RespP50MS = stats.Quantile(resp, 0.50)
+		s.RespP99MS = stats.Quantile(resp, 0.99)
+		s.RespMaxMS = stats.Quantile(resp, 1.0)
+	}
+	return s
+}
+
+// Point is one sweep sample: a task count and its run summary.
+type Point struct {
+	Tasks   int
+	Summary Summary
+}
+
+// PivotPoint reports the paper's pivot: the largest task count that the
+// scheduler handles without a single deadline miss, scanning the sweep in
+// ascending task order and stopping at the first miss. Zero means even one
+// task misses.
+func PivotPoint(series []Point) int {
+	pivot := 0
+	for _, p := range series {
+		if p.Summary.Missed > 0 {
+			break
+		}
+		pivot = p.Tasks
+	}
+	return pivot
+}
+
+// SaturationFPS reports the maximum total FPS reached anywhere in the sweep.
+func SaturationFPS(series []Point) float64 {
+	var best float64
+	for _, p := range series {
+		if p.Summary.TotalFPS > best {
+			best = p.Summary.TotalFPS
+		}
+	}
+	return best
+}
+
+// FinalFPS reports the FPS at the largest task count of the sweep — the
+// paper's "drops to 468 fps" style endpoint.
+func FinalFPS(series []Point) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	return series[len(series)-1].Summary.TotalFPS
+}

@@ -1,0 +1,167 @@
+// Package naive implements the paper's comparison baseline (Section V): a
+// simple spatial-partitioning scheduler with no temporal partitioning and no
+// seamless context switch.
+//
+// Each task is statically pinned to one partition at attach time
+// (round-robin). A partition executes whole inferences sequentially on a
+// single stream: every operation is launched synchronously (the "sequential
+// execution in existing frameworks" the paper's introduction blames for
+// underutilisation), which adds a fixed per-operation host synchronisation
+// gap. When a partition switches from one resident model to another it pays
+// a reconfiguration cost that grows with the number of models sharing the
+// partition — weights and state must be re-staged, and the working set
+// thrashes. SGPRS pays neither cost: stages launch asynchronously on
+// pre-created contexts.
+//
+// Past its saturation point this design exhibits the paper's domino effect:
+// with FIFO queueing and no temporal partitioning, one late job delays every
+// job behind it, so misses cascade and total FPS degrades rather than
+// plateauing.
+package naive
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+	"sgprs/internal/gpu"
+	"sgprs/internal/rt"
+)
+
+// Config parameterises the baseline.
+type Config struct {
+	// Name labels the instance in reports.
+	Name string
+	// ContextSMs is the SM allocation per partition (no over-subscription
+	// in the naive design: partitions tile the device).
+	ContextSMs []int
+	// SyncOverheadMS is the host-side synchronisation gap per operation
+	// launch, in milliseconds. Whole-network execution pays it for every
+	// operation of the graph.
+	SyncOverheadMS float64
+	// ReconfigBaseMS is the fixed cost of switching a partition to a
+	// different resident model.
+	ReconfigBaseMS float64
+	// ReconfigPerResidentMS is the additional switch cost per extra model
+	// resident on the same partition (working-set thrash).
+	ReconfigPerResidentMS float64
+}
+
+// DefaultConfig returns the calibrated baseline over the given partitions.
+func DefaultConfig(name string, contextSMs []int) Config {
+	return Config{
+		Name:                  name,
+		ContextSMs:            contextSMs,
+		SyncOverheadMS:        0.012, // 12 µs per synchronous op launch
+		ReconfigBaseMS:        0.30,
+		ReconfigPerResidentMS: 0.03,
+	}
+}
+
+// partition is one static spatial partition.
+type partition struct {
+	ctx      *gpu.Context
+	stream   *gpu.Stream
+	tasks    []*rt.Task // resident tasks
+	lastTask int        // task ID last executed, -1 initially
+}
+
+// Scheduler is the naive baseline. Create with New, wire with Attach.
+type Scheduler struct {
+	cfg   Config
+	eng   *des.Engine
+	dev   *gpu.Device
+	parts []*partition
+	homes map[int]*partition // task ID → partition
+
+	reconfigs uint64
+}
+
+// New validates cfg and returns an unattached scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("naive: config needs a name")
+	}
+	if len(cfg.ContextSMs) == 0 {
+		return nil, fmt.Errorf("naive: config needs at least one partition")
+	}
+	if cfg.SyncOverheadMS < 0 || cfg.ReconfigBaseMS < 0 || cfg.ReconfigPerResidentMS < 0 {
+		return nil, fmt.Errorf("naive: overheads must be non-negative")
+	}
+	return &Scheduler{cfg: cfg, homes: map[int]*partition{}}, nil
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return s.cfg.Name }
+
+// Reconfigurations reports how many partition switches were paid.
+func (s *Scheduler) Reconfigurations() uint64 { return s.reconfigs }
+
+// Attach creates the partitions and pins each task to one, round-robin.
+func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) error {
+	if s.eng != nil {
+		return fmt.Errorf("naive: scheduler %q attached twice", s.cfg.Name)
+	}
+	s.eng = eng
+	s.dev = dev
+	for i, sms := range s.cfg.ContextSMs {
+		ctx, err := dev.CreateContext(fmt.Sprintf("part%d", i), sms)
+		if err != nil {
+			return fmt.Errorf("naive: partition: %w", err)
+		}
+		s.parts = append(s.parts, &partition{
+			ctx:      ctx,
+			stream:   ctx.AddStream("s0", gpu.LowPriority),
+			lastTask: -1,
+		})
+	}
+	for i, t := range tasks {
+		p := s.parts[i%len(s.parts)]
+		p.tasks = append(p.tasks, t)
+		s.homes[t.ID] = p
+	}
+	return nil
+}
+
+// OnRelease submits the whole inference as one synchronous-execution kernel
+// on the task's home partition. FIFO order on the stream — no deadlines, no
+// priorities, no partition switching.
+func (s *Scheduler) OnRelease(job *rt.Job, now des.Time) {
+	p, ok := s.homes[job.Task.ID]
+	if !ok {
+		panic(fmt.Sprintf("naive: job %s from unattached task", job))
+	}
+	for _, st := range job.Stages {
+		st.MarkReady(now)
+	}
+
+	fixed := s.cfg.SyncOverheadMS * float64(len(job.Task.Graph.Ops))
+	if p.lastTask != job.Task.ID {
+		fixed += s.cfg.ReconfigBaseMS +
+			s.cfg.ReconfigPerResidentMS*float64(len(p.tasks)-1)
+		s.reconfigs++
+	}
+	p.lastTask = job.Task.ID
+
+	shares := job.Task.Graph.WorkByClass()
+	if job.WorkScale != 1 && job.WorkScale > 0 {
+		for i := range shares {
+			shares[i].Work *= job.WorkScale
+		}
+	}
+	k := &gpu.Kernel{
+		Label:   job.String(),
+		Shares:  shares,
+		FixedMS: fixed,
+		OnStart: func(t des.Time) {
+			for _, st := range job.Stages {
+				st.MarkStarted(t)
+			}
+		},
+		OnComplete: func(t des.Time) {
+			for _, st := range job.Stages {
+				st.MarkFinished(t)
+			}
+		},
+	}
+	p.stream.Submit(k)
+}

@@ -1,0 +1,142 @@
+// Package profile implements the offline phase's measurement half (Section
+// IV-A2): per-stage and per-task WCETs obtained by running kernels in
+// isolation on the simulated device, plus the speedup-gain measurements
+// behind the paper's Figure 1.
+//
+// Measurements run real simulated executions on a private device rather than
+// evaluating the analytic model directly, so the profiler exercises exactly
+// the code path the online phase uses (launch overhead included).
+package profile
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/rt"
+	"sgprs/internal/speedup"
+)
+
+// Profiler measures execution times in isolation.
+type Profiler struct {
+	model *speedup.Model
+	cfg   gpu.Config
+	// Margin inflates measured times into WCETs: WCET = measured ×
+	// (1 + Margin). Isolation measurements carry no contention jitter, so
+	// a margin gives the online phase headroom, exactly like padding a
+	// measured WCET on real hardware.
+	Margin float64
+}
+
+// New builds a profiler over the given speedup model and device config.
+func New(model *speedup.Model, cfg gpu.Config) *Profiler {
+	return &Profiler{model: model, cfg: cfg, Margin: 0.05}
+}
+
+// measure runs a single kernel alone on a fresh device with a context of sms
+// SMs and returns its wall latency (including launch overhead).
+func (p *Profiler) measure(k *gpu.Kernel, sms int) (des.Time, error) {
+	eng := des.NewEngine()
+	cfg := p.cfg
+	// Isolation: no contention is possible, but zero the stochastic terms
+	// anyway so profiling is independent of seed.
+	cfg.ContentionJitter = 0
+	cfg.ContentionPenalty = 0
+	dev, err := gpu.NewDevice(eng, p.model, cfg)
+	if err != nil {
+		return 0, err
+	}
+	ctx, err := dev.CreateContext("profile", sms)
+	if err != nil {
+		return 0, err
+	}
+	var done des.Time
+	k.OnComplete = func(now des.Time) { done = now }
+	ctx.AddStream("s0", gpu.LowPriority).Submit(k)
+	eng.Run()
+	if done == 0 {
+		return 0, fmt.Errorf("profile: kernel %q never completed", k.Label)
+	}
+	return done, nil
+}
+
+// pad applies the WCET margin.
+func (p *Profiler) pad(t des.Time) des.Time {
+	return des.Time(float64(t) * (1 + p.Margin))
+}
+
+// StageWCET measures stage st in isolation on a context of sms SMs.
+func (p *Profiler) StageWCET(st *dnn.Stage, sms int) (des.Time, error) {
+	k := &gpu.Kernel{Label: st.Name(), Shares: st.Shares}
+	t, err := p.measure(k, sms)
+	if err != nil {
+		return 0, err
+	}
+	return p.pad(t), nil
+}
+
+// ProfileTask measures every stage of the task on a context of sms SMs and
+// installs the WCETs (which also derives the virtual deadlines). The SM count
+// should be the smallest context of the pool the task will run in — the
+// conservative choice.
+func (p *Profiler) ProfileTask(task *rt.Task, sms int) error {
+	wcets := make([]des.Time, len(task.Stages))
+	for j, st := range task.Stages {
+		c, err := p.StageWCET(st, sms)
+		if err != nil {
+			return fmt.Errorf("profile: task %s stage %d: %w", task.Name, j, err)
+		}
+		wcets[j] = c
+	}
+	return task.SetWCETs(wcets)
+}
+
+// OperationGain measures the speedup gain of workMS single-SM milliseconds of
+// class cl at sms SMs relative to one SM — one point of Figure 1.
+func (p *Profiler) OperationGain(cl speedup.Class, workMS float64, sms int) (float64, error) {
+	mk := func() *gpu.Kernel {
+		return &gpu.Kernel{
+			Label:  cl.String(),
+			Shares: []speedup.WorkShare{{Class: cl, Work: workMS}},
+		}
+	}
+	t1, err := p.measure(mk(), 1)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := p.measure(mk(), sms)
+	if err != nil {
+		return 0, err
+	}
+	if tn == 0 {
+		return 0, fmt.Errorf("profile: zero latency at %d SMs", sms)
+	}
+	return float64(t1) / float64(tn), nil
+}
+
+// NetworkGain measures the composed speedup of a whole network at sms SMs
+// relative to one SM — the "ResNet18" series of Figure 1.
+func (p *Profiler) NetworkGain(g *dnn.Graph, sms int) (float64, error) {
+	mk := func() *gpu.Kernel {
+		return &gpu.Kernel{Label: g.Name, Shares: g.WorkByClass()}
+	}
+	t1, err := p.measure(mk(), 1)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := p.measure(mk(), sms)
+	if err != nil {
+		return 0, err
+	}
+	if tn == 0 {
+		return 0, fmt.Errorf("profile: zero latency at %d SMs", sms)
+	}
+	return float64(t1) / float64(tn), nil
+}
+
+// NetworkLatency measures the isolated inference latency of a whole network
+// at sms SMs (no WCET margin — this is a raw measurement).
+func (p *Profiler) NetworkLatency(g *dnn.Graph, sms int) (des.Time, error) {
+	return p.measure(&gpu.Kernel{Label: g.Name, Shares: g.WorkByClass()}, sms)
+}

@@ -1,0 +1,186 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/rt"
+	"sgprs/internal/speedup"
+)
+
+func newProfiler() *Profiler {
+	return New(speedup.DefaultModel(), gpu.DefaultConfig())
+}
+
+func TestStageWCETMatchesAnalyticLatency(t *testing.T) {
+	p := newProfiler()
+	p.Margin = 0 // compare raw measurement to the analytic model
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	stages, err := dnn.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := speedup.DefaultModel()
+	for _, st := range stages {
+		got, err := p.StageWCET(st, 34)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := st.LatencyMS(m, 34)
+		launch := gpu.DefaultConfig().LaunchOverhead
+		diff := math.Abs(got.Milliseconds() - want - launch.Milliseconds())
+		if diff > 1e-3 {
+			t.Errorf("%s WCET %.4f ms, analytic %.4f + launch", st.Name(), got.Milliseconds(), want)
+		}
+	}
+}
+
+func TestMarginInflatesWCET(t *testing.T) {
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	stages, _ := dnn.Partition(g, 6)
+	p := newProfiler()
+	p.Margin = 0
+	raw, err := p.StageWCET(stages[0], 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Margin = 0.10
+	padded, err := p.StageWCET(stages[0], 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(padded) / float64(raw)
+	if math.Abs(ratio-1.10) > 1e-6 {
+		t.Errorf("margin ratio = %v, want 1.10", ratio)
+	}
+}
+
+func TestProfileTaskSetsWCETsAndVirtualDeadlines(t *testing.T) {
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	stages, _ := dnn.Partition(g, 6)
+	period := des.FromSeconds(1.0 / 30)
+	task, err := rt.NewTask(0, "resnet18", g, stages, period, period, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newProfiler().ProfileTask(task, 34); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Profiled() {
+		t.Fatal("task not profiled")
+	}
+	var sum des.Time
+	for j := 0; j < task.NumStages(); j++ {
+		if task.StageWCET(j) <= 0 {
+			t.Errorf("stage %d WCET %v", j, task.StageWCET(j))
+		}
+		sum += task.VirtualDeadline(j)
+	}
+	if sum != task.Deadline {
+		t.Errorf("virtual deadlines sum to %v, want %v", sum, task.Deadline)
+	}
+	// At 34 SMs, the whole ResNet18 should take ~1.8 ms×1.05 margin.
+	if w := task.WCET().Milliseconds(); w < 1.2 || w > 3.5 {
+		t.Errorf("task WCET = %.3f ms, want ~2", w)
+	}
+}
+
+func TestOperationGainReproducesFigure1(t *testing.T) {
+	p := newProfiler()
+	cases := []struct {
+		class speedup.Class
+		want  float64
+	}{
+		{speedup.Conv, 32},
+		{speedup.MaxPool, 14},
+		{speedup.AvgPool, 7},
+	}
+	for _, c := range cases {
+		got, err := p.OperationGain(c.class, 50, speedup.DeviceSMs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Launch overhead dilutes the measured ratio slightly.
+		if math.Abs(got-c.want) > 0.5 {
+			t.Errorf("%v measured gain = %.2f, want ~%.0f", c.class, got, c.want)
+		}
+	}
+	// "Other operations failed to exceed 7x."
+	for _, cl := range []speedup.Class{speedup.ReLU, speedup.BatchNorm, speedup.Linear, speedup.Add} {
+		got, err := p.OperationGain(cl, 50, speedup.DeviceSMs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > 7.1 {
+			t.Errorf("%v measured gain = %.2f, want <= 7", cl, got)
+		}
+	}
+}
+
+func TestNetworkGainNearPaper(t *testing.T) {
+	p := newProfiler()
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	got, err := p.NetworkGain(g, speedup.DeviceSMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ResNet18 reaches "only 23x".
+	if got < 20 || got > 26 {
+		t.Errorf("ResNet18 measured gain = %.2f, want ~23", got)
+	}
+	// The composed gain must sit below conv's.
+	conv, _ := p.OperationGain(speedup.Conv, 50, speedup.DeviceSMs)
+	if got >= conv {
+		t.Errorf("network gain %.2f should be below conv %.2f", got, conv)
+	}
+}
+
+func TestNetworkLatencyScalesWithSMs(t *testing.T) {
+	p := newProfiler()
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	l10, err := p.NetworkLatency(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l68, err := p.NetworkLatency(g, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l68 >= l10 {
+		t.Errorf("latency should shrink with SMs: %v at 10, %v at 68", l10, l68)
+	}
+}
+
+func TestMeasureErrorPaths(t *testing.T) {
+	p := newProfiler()
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	if _, err := p.NetworkLatency(g, 0); err == nil {
+		t.Error("0-SM context accepted")
+	}
+	if _, err := p.OperationGain(speedup.Conv, 10, 9999); err == nil {
+		t.Error("oversized context accepted")
+	}
+	stages, _ := dnn.Partition(g, 6)
+	if _, err := p.StageWCET(stages[0], -1); err == nil {
+		t.Error("negative SMs accepted")
+	}
+}
+
+func TestProfilingIsDeterministic(t *testing.T) {
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	stages, _ := dnn.Partition(g, 6)
+	a, err := newProfiler().StageWCET(stages[2], 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newProfiler().StageWCET(stages[2], 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("profiling not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,165 @@
+// Package report renders experiment results in the shapes the paper reports
+// them: the Figure 1 speedup table and the Figure 3/4 FPS and DMR series,
+// as aligned text for terminals and as CSV for plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	"sgprs/internal/metrics"
+	"sgprs/internal/speedup"
+)
+
+// Figure1 is the speedup-gain dataset: measured gain per operation class
+// (plus whole networks) at each SM count.
+type Figure1 struct {
+	SMCounts []int
+	// Rows maps a series name ("conv", "resnet18") to gains aligned with
+	// SMCounts. Order lists the series in display order.
+	Rows  map[string][]float64
+	Order []string
+}
+
+// AddRow appends a named gain series. It panics on a length mismatch — a
+// misaligned figure is a programming error.
+func (f *Figure1) AddRow(name string, gains []float64) {
+	if len(gains) != len(f.SMCounts) {
+		panic(fmt.Sprintf("report: row %q has %d points, figure has %d SM counts", name, len(gains), len(f.SMCounts)))
+	}
+	if f.Rows == nil {
+		f.Rows = map[string][]float64{}
+	}
+	f.Rows[name] = gains
+	f.Order = append(f.Order, name)
+}
+
+// WriteText renders the figure as an aligned table.
+func (f *Figure1) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "operation")
+	for _, n := range f.SMCounts {
+		fmt.Fprintf(tw, "\t%dsm", n)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range f.Order {
+		fmt.Fprint(tw, name)
+		for _, g := range f.Rows[name] {
+			fmt.Fprintf(tw, "\t%.2fx", g)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders the figure as CSV (one row per series).
+func (f *Figure1) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"operation"}
+	for _, n := range f.SMCounts {
+		header = append(header, strconv.Itoa(n))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, name := range f.Order {
+		row := []string{name}
+		for _, g := range f.Rows[name] {
+			row = append(row, strconv.FormatFloat(g, 'f', 3, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Scenario renders a Figure 3/4 dataset: per-variant FPS and DMR series over
+// task counts, plus the derived pivot points.
+type Scenario struct {
+	Title      string
+	TaskCounts []int
+	Series     map[string][]metrics.Point
+	Order      []string
+}
+
+// WriteText renders FPS and DMR tables plus pivot points.
+func (s *Scenario) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", s.Title); err != nil {
+		return err
+	}
+	for _, metric := range []string{"total FPS", "DMR"} {
+		fmt.Fprintf(w, "\n%s:\n", metric)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprint(tw, "tasks")
+		for _, n := range s.TaskCounts {
+			fmt.Fprintf(tw, "\t%d", n)
+		}
+		fmt.Fprintln(tw)
+		for _, name := range s.Order {
+			fmt.Fprint(tw, name)
+			for _, p := range s.Series[name] {
+				if metric == "total FPS" {
+					fmt.Fprintf(tw, "\t%.0f", p.Summary.TotalFPS)
+				} else {
+					fmt.Fprintf(tw, "\t%.3f", p.Summary.DMR)
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\npivot points (largest task count with zero misses):")
+	for _, name := range s.Order {
+		fmt.Fprintf(w, "  %-12s %d tasks (saturation %.0f fps, final %.0f fps)\n",
+			name,
+			metrics.PivotPoint(s.Series[name]),
+			metrics.SaturationFPS(s.Series[name]),
+			metrics.FinalFPS(s.Series[name]))
+	}
+	return nil
+}
+
+// WriteCSV renders the dataset as long-form CSV:
+// variant,tasks,fps,dmr,released,completed,missed.
+func (s *Scenario) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"variant", "tasks", "fps", "dmr", "released", "completed", "missed"}); err != nil {
+		return err
+	}
+	for _, name := range s.Order {
+		for _, p := range s.Series[name] {
+			rec := []string{
+				name,
+				strconv.Itoa(p.Tasks),
+				strconv.FormatFloat(p.Summary.TotalFPS, 'f', 1, 64),
+				strconv.FormatFloat(p.Summary.DMR, 'f', 4, 64),
+				strconv.Itoa(p.Summary.Released),
+				strconv.Itoa(p.Summary.Completed),
+				strconv.Itoa(p.Summary.Missed),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure1Model samples the analytic speedup model into a Figure1 dataset —
+// the fallback when measured data is not wanted.
+func Figure1Model(m *speedup.Model, smCounts []int) *Figure1 {
+	f := &Figure1{SMCounts: smCounts}
+	tab := m.Table(smCounts)
+	for _, cl := range speedup.Classes() {
+		f.AddRow(cl.String(), tab[cl])
+	}
+	return f
+}

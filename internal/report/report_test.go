@@ -1,0 +1,126 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sgprs/internal/metrics"
+	"sgprs/internal/speedup"
+)
+
+func TestFigure1Text(t *testing.T) {
+	f := &Figure1{SMCounts: []int{1, 34, 68}}
+	f.AddRow("conv", []float64{1, 21.9, 32})
+	f.AddRow("resnet18", []float64{1, 18, 23})
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"operation", "1sm", "34sm", "68sm", "conv", "32.00x", "resnet18", "23.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1CSV(t *testing.T) {
+	f := &Figure1{SMCounts: []int{1, 68}}
+	f.AddRow("conv", []float64{1, 32})
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "operation,1,68" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "conv,1.000,32.000" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFigure1AddRowPanicsOnMismatch(t *testing.T) {
+	f := &Figure1{SMCounts: []int{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	f.AddRow("bad", []float64{1})
+}
+
+func TestFigure1Model(t *testing.T) {
+	f := Figure1Model(speedup.DefaultModel(), []int{1, 68})
+	if len(f.Order) != len(speedup.Classes()) {
+		t.Fatalf("rows = %d", len(f.Order))
+	}
+	conv := f.Rows["conv"]
+	if conv[1] < 31.9 || conv[1] > 32.1 {
+		t.Errorf("conv at 68 = %v", conv[1])
+	}
+}
+
+func mkScenario() *Scenario {
+	mk := func(fps float64, missed int) metrics.Summary {
+		return metrics.Summary{TotalFPS: fps, DMR: float64(missed) / 100, Missed: missed, Released: 100, Completed: int(fps)}
+	}
+	return &Scenario{
+		Title:      "Scenario 1 (2 contexts)",
+		TaskCounts: []int{10, 20, 30},
+		Series: map[string][]metrics.Point{
+			"naive": {
+				{Tasks: 10, Summary: mk(300, 0)},
+				{Tasks: 20, Summary: mk(490, 80)},
+				{Tasks: 30, Summary: mk(474, 100)},
+			},
+			"sgprs-2.0x": {
+				{Tasks: 10, Summary: mk(300, 0)},
+				{Tasks: 20, Summary: mk(600, 0)},
+				{Tasks: 30, Summary: mk(750, 17)},
+			},
+		},
+		Order: []string{"naive", "sgprs-2.0x"},
+	}
+}
+
+func TestScenarioText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mkScenario().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Scenario 1 (2 contexts)", "total FPS:", "DMR:", "pivot points",
+		"naive", "sgprs-2.0x", "750", "0.170",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Pivot of naive is 10, of sgprs is 20.
+	if !strings.Contains(out, "10 tasks") || !strings.Contains(out, "20 tasks") {
+		t.Errorf("pivots missing:\n%s", out)
+	}
+}
+
+func TestScenarioCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mkScenario().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 { // header + 2 variants x 3 points
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "variant,tasks,fps,dmr,released,completed,missed" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "naive,10,300.0,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}

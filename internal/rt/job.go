@@ -1,0 +1,134 @@
+package rt
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+)
+
+// Job is one periodic instance (one frame) of a task.
+type Job struct {
+	Task     *Task
+	Index    int      // instance number, 0-based
+	Release  des.Time // absolute release instant
+	Deadline des.Time // absolute deadline dᵢ = release + Dᵢ
+
+	// WorkScale multiplies the job's execution demand relative to the
+	// profiled nominal (1.0). Values above 1 model WCET overruns and
+	// input-dependent execution-time variation; schedulers apply it when
+	// building kernels but never see it in advance — exactly like real
+	// inference-time variation.
+	WorkScale float64
+
+	Stages []*StageJob
+
+	FinishedAt des.Time
+	Done       bool
+}
+
+// StageJob is one stage instance τᵢʲ of a job, the unit the online scheduler
+// dispatches. Its absolute deadline dᵢʲ is assigned at release from the
+// relative virtual deadlines (Section IV-B1).
+type StageJob struct {
+	Job      *Job
+	Index    int      // stage index j
+	Deadline des.Time // absolute virtual deadline dᵢʲ
+
+	Level      Level // current logical priority (may be promoted to medium)
+	ReadyAt    des.Time
+	StartedAt  des.Time
+	FinishedAt des.Time
+	Ready      bool
+	Started    bool
+	Finished   bool
+}
+
+// NewJob releases instance index of the task at the given instant, assigning
+// every stage its absolute virtual deadline: stage j's deadline is the
+// release plus the cumulative virtual deadlines through j, so the last
+// stage's deadline coincides with the job deadline. The task must have been
+// profiled first.
+func (t *Task) NewJob(index int, release des.Time) *Job {
+	if !t.Profiled() {
+		panic(fmt.Sprintf("rt: NewJob on unprofiled task %s", t))
+	}
+	j := &Job{
+		Task:      t,
+		Index:     index,
+		Release:   release,
+		Deadline:  release.Add(t.Deadline),
+		WorkScale: 1,
+	}
+	var cum des.Time
+	for s := range t.Stages {
+		cum += t.virtualDls[s]
+		j.Stages = append(j.Stages, &StageJob{
+			Job:      j,
+			Index:    s,
+			Deadline: release.Add(cum),
+			Level:    t.StageLevel(s),
+		})
+	}
+	return j
+}
+
+// MarkReady records that the stage's predecessor finished (or, for stage 0,
+// that the job was released) and it is eligible for dispatch.
+func (s *StageJob) MarkReady(now des.Time) {
+	s.Ready = true
+	s.ReadyAt = now
+}
+
+// MarkStarted records dispatch onto the GPU.
+func (s *StageJob) MarkStarted(now des.Time) {
+	s.Started = true
+	s.StartedAt = now
+}
+
+// MarkFinished records completion; for the last stage it completes the job.
+func (s *StageJob) MarkFinished(now des.Time) {
+	s.Finished = true
+	s.FinishedAt = now
+	if s.Index == len(s.Job.Stages)-1 {
+		s.Job.Done = true
+		s.Job.FinishedAt = now
+	}
+}
+
+// MissedBy reports whether the stage's deadline has passed at the instant
+// now without the stage having finished.
+func (s *StageJob) MissedBy(now des.Time) bool {
+	if s.Finished {
+		return s.FinishedAt > s.Deadline
+	}
+	return now > s.Deadline
+}
+
+// Missed reports whether the job finished after its deadline (or has not
+// finished although the deadline passed at instant now).
+func (j *Job) Missed(now des.Time) bool {
+	if j.Done {
+		return j.FinishedAt > j.Deadline
+	}
+	return now > j.Deadline
+}
+
+// ResponseTime reports finish − release for completed jobs, and 0 otherwise.
+func (j *Job) ResponseTime() des.Time {
+	if !j.Done {
+		return 0
+	}
+	return j.FinishedAt - j.Release
+}
+
+// Lateness reports finish − deadline (negative when early). Only meaningful
+// for completed jobs.
+func (j *Job) Lateness() des.Time { return j.FinishedAt - j.Deadline }
+
+// String renders "τ2#17".
+func (j *Job) String() string { return fmt.Sprintf("τ%d#%d", j.Task.ID, j.Index) }
+
+// String renders "τ2#17.s3".
+func (s *StageJob) String() string {
+	return fmt.Sprintf("%s.s%d", s.Job, s.Index)
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"container/heap"
+
+	"sgprs/internal/rt"
+)
+
+// EDFQueue is a deterministic earliest-deadline-first priority queue of stage
+// jobs. Ties on the absolute deadline break by (task ID, job index, stage
+// index) so simulations replay identically.
+type EDFQueue struct {
+	h edfHeap
+}
+
+type edfHeap []*rt.StageJob
+
+func (h edfHeap) Len() int { return len(h) }
+
+func (h edfHeap) Less(i, j int) bool { return edfBefore(h[i], h[j]) }
+
+func edfBefore(a, b *rt.StageJob) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.Job.Task.ID != b.Job.Task.ID {
+		return a.Job.Task.ID < b.Job.Task.ID
+	}
+	if a.Job.Index != b.Job.Index {
+		return a.Job.Index < b.Job.Index
+	}
+	return a.Index < b.Index
+}
+
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(*rt.StageJob)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Len reports the number of queued stages.
+func (q *EDFQueue) Len() int { return len(q.h) }
+
+// Push enqueues a stage job.
+func (q *EDFQueue) Push(s *rt.StageJob) { heap.Push(&q.h, s) }
+
+// Pop removes and returns the earliest-deadline stage, or nil when empty.
+func (q *EDFQueue) Pop() *rt.StageJob {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*rt.StageJob)
+}
+
+// Peek returns the earliest-deadline stage without removing it, or nil.
+func (q *EDFQueue) Peek() *rt.StageJob {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// MultiLevelQueue is the paper's three-level stage queue (Section IV-B3):
+// high, medium, and low logical priorities, EDF order within each level.
+type MultiLevelQueue struct {
+	levels [3]EDFQueue
+}
+
+// Len reports the total queued stages across levels.
+func (m *MultiLevelQueue) Len() int {
+	return m.levels[0].Len() + m.levels[1].Len() + m.levels[2].Len()
+}
+
+// LenLevel reports the queued stages at one level.
+func (m *MultiLevelQueue) LenLevel(l rt.Level) int { return m.levels[l].Len() }
+
+// Push enqueues the stage at its current level.
+func (m *MultiLevelQueue) Push(s *rt.StageJob) { m.levels[s.Level].Push(s) }
+
+// Pop removes the most urgent stage: highest non-empty level, EDF within.
+func (m *MultiLevelQueue) Pop() *rt.StageJob {
+	for l := rt.LevelHigh; l >= rt.LevelLow; l-- {
+		if s := m.levels[l].Pop(); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// PopAtMost removes the most urgent stage whose level does not exceed max —
+// used to keep high-priority hardware streams from draining low work.
+func (m *MultiLevelQueue) PopAtMost(max, min rt.Level) *rt.StageJob {
+	for l := max; l >= min; l-- {
+		if s := m.levels[l].Pop(); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// Peek returns the most urgent stage without removing it, or nil.
+func (m *MultiLevelQueue) Peek() *rt.StageJob {
+	for l := rt.LevelHigh; l >= rt.LevelLow; l-- {
+		if s := m.levels[l].Peek(); s != nil {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package sched defines the scheduler abstraction shared by SGPRS and the
+// baselines, plus the queue primitives they build on: deterministic EDF
+// heaps and the paper's three-level priority queue.
+package sched
+
+import (
+	"sgprs/internal/des"
+	"sgprs/internal/gpu"
+	"sgprs/internal/rt"
+)
+
+// Scheduler is a GPU inference scheduler. The experiment runner attaches it
+// to a device and task set, then feeds it released jobs; everything else —
+// stage chaining, context/stream selection, queueing — is the scheduler's.
+type Scheduler interface {
+	// Name identifies the scheduler in reports ("sgprs-1.5x", "naive").
+	Name() string
+	// Attach binds the scheduler to the simulation before any release.
+	// The scheduler creates its contexts and streams here; tasks must be
+	// profiled (WCETs set) before Attach.
+	Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) error
+	// OnRelease hands the scheduler a newly released job.
+	OnRelease(job *rt.Job, now des.Time)
+}

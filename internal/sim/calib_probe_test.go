@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCalibrationProbe is a diagnostic, not an assertion: it prints the
+// FPS/DMR series for both scenarios so calibration work can see the current
+// shape. Run with: go test ./internal/sim -run Probe -v -calibprobe
+func TestCalibrationProbe(t *testing.T) {
+	if !probeFlag {
+		t.Skip("pass -calibprobe to run the calibration probe")
+	}
+	counts := []int{4, 8, 12, 14, 16, 18, 20, 22, 23, 24, 25, 26, 28, 30}
+	for _, scenario := range []int{1, 2} {
+		run, err := RunScenario(scenario, counts, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("== scenario %d ==\n", scenario)
+		for _, name := range run.Order {
+			fmt.Printf("%-12s", name)
+			for _, p := range run.Series[name] {
+				fmt.Printf(" %2d:%5.0f/%.2f", p.Tasks, p.Summary.TotalFPS, p.Summary.DMR)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package sim
+
+import "flag"
+
+var probeFlag bool
+
+func init() {
+	flag.BoolVar(&probeFlag, "calibprobe", false, "print calibration probe series")
+}

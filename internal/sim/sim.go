@@ -1,0 +1,355 @@
+// Package sim wires workload, schedulers, GPU model, and metrics into
+// runnable experiments, and provides the scenario/sweep drivers that
+// regenerate the paper's figures.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sgprs/internal/core"
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/metrics"
+	"sgprs/internal/naive"
+	"sgprs/internal/profile"
+	"sgprs/internal/sched"
+	"sgprs/internal/speedup"
+	"sgprs/internal/workload"
+)
+
+// Kind selects the scheduler implementation.
+type Kind int
+
+// Scheduler kinds.
+const (
+	KindSGPRS Kind = iota
+	KindNaive
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSGPRS:
+		return "sgprs"
+	case KindNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ReferenceLatencyMS is the calibrated full-device ResNet18 inference
+// latency. It pins simulated time to the scale implied by the paper's
+// saturation throughput (DESIGN.md §2).
+const ReferenceLatencyMS = 1.40
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Kind Kind
+	Name string
+	// ContextSMs is the context pool (SGPRS) or static partitioning
+	// (naive).
+	ContextSMs []int
+
+	// Workload.
+	NumTasks int
+	FPS      float64
+	Stages   int
+	Stagger  bool
+	// ReleaseJitterMS bounds uniform sporadic release jitter per job.
+	ReleaseJitterMS float64
+	// WorkVariation is the relative per-job execution-demand spread
+	// (WCET-overrun injection); see workload.TaskSpec.
+	WorkVariation float64
+
+	// Horizon and warm-up, simulated seconds.
+	HorizonSec, WarmUpSec float64
+
+	Seed uint64
+
+	// GPU overrides; zero value means gpu.DefaultConfig().
+	GPU gpu.Config
+
+	// SGPRS options (ablations).
+	DisableMediumPromotion  bool
+	DisableLateDrop         bool
+	FlattenPriorities       bool
+	AssignPolicy            core.AssignPolicy
+	HighStreams, LowStreams int // zero means the paper's 2 and 2
+
+	// Naive overrides; zero values mean naive.DefaultConfig().
+	NaiveSyncMS, NaiveReconfigBaseMS, NaiveReconfigPerResMS float64
+
+	// Observer, when non-nil, receives every kernel start/finish (e.g. a
+	// trace.Recorder).
+	Observer gpu.Observer
+}
+
+// Normalize fills defaults and validates.
+func (c *RunConfig) Normalize() error {
+	if c.Name == "" {
+		c.Name = c.Kind.String()
+	}
+	if len(c.ContextSMs) == 0 {
+		return fmt.Errorf("sim: run %q has no contexts", c.Name)
+	}
+	if c.NumTasks <= 0 {
+		return fmt.Errorf("sim: run %q needs at least one task", c.Name)
+	}
+	if c.FPS == 0 {
+		c.FPS = 30
+	}
+	if c.Stages == 0 {
+		c.Stages = 6
+	}
+	if c.HorizonSec == 0 {
+		c.HorizonSec = 10
+	}
+	if c.WarmUpSec == 0 {
+		c.WarmUpSec = 1
+	}
+	if c.HorizonSec <= c.WarmUpSec {
+		return fmt.Errorf("sim: run %q horizon %vs must exceed warm-up %vs", c.Name, c.HorizonSec, c.WarmUpSec)
+	}
+	if c.GPU.TotalSMs == 0 {
+		g := gpu.DefaultConfig()
+		g.Seed = c.Seed + 1
+		c.GPU = g
+	}
+	return nil
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Name    string
+	Tasks   int
+	Summary metrics.Summary
+	// DeviceUtilization is the mean effective-SM utilisation over the run.
+	DeviceUtilization float64
+	// EnergyJoules and AvgPowerW come from the device's linear power
+	// model (gpu.DefaultPowerModel) over the whole horizon.
+	EnergyJoules float64
+	AvgPowerW    float64
+	// FPSPerWatt is the run's efficiency: total FPS over average power.
+	FPSPerWatt float64
+}
+
+// ReferenceGraph builds the calibrated ResNet18 benchmark graph.
+func ReferenceGraph(model *speedup.Model) *dnn.Graph {
+	g := dnn.ResNet18(dnn.DefaultCostModel())
+	dnn.Calibrate(g, model, float64(speedup.DeviceSMs), ReferenceLatencyMS)
+	return g
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg RunConfig) (Result, error) {
+	if err := cfg.Normalize(); err != nil {
+		return Result{}, err
+	}
+	eng := des.NewEngine()
+	model := speedup.DefaultModel()
+
+	dev, err := gpu.NewDevice(eng, model, cfg.GPU)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Observer != nil {
+		dev.SetObserver(cfg.Observer)
+	}
+
+	graph := ReferenceGraph(model)
+	specs := workload.Identical(cfg.NumTasks, workload.TaskSpec{
+		Name:          "resnet18",
+		Graph:         graph,
+		Stages:        cfg.Stages,
+		FPS:           cfg.FPS,
+		ReleaseJitter: des.FromMillis(cfg.ReleaseJitterMS),
+		WorkVariation: cfg.WorkVariation,
+	}, cfg.Stagger)
+	tasks, err := workload.Build(specs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Offline phase: profile stage WCETs in isolation on the smallest
+	// context of the pool (conservative).
+	minSMs := cfg.ContextSMs[0]
+	for _, s := range cfg.ContextSMs[1:] {
+		if s < minSMs {
+			minSMs = s
+		}
+	}
+	prof := profile.New(model, cfg.GPU)
+	for _, t := range tasks {
+		if err := prof.ProfileTask(t, minSMs); err != nil {
+			return Result{}, err
+		}
+	}
+
+	s, err := buildScheduler(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.Attach(eng, dev, tasks); err != nil {
+		return Result{}, err
+	}
+
+	horizon := des.FromSeconds(cfg.HorizonSec)
+	gen := workload.NewGeneratorSeeded(eng, s, cfg.Seed+2)
+	gen.Start(tasks, horizon)
+	eng.RunUntil(horizon)
+
+	sum := metrics.Evaluate(gen.Jobs(), des.FromSeconds(cfg.WarmUpSec), horizon)
+	pm := gpu.DefaultPowerModel()
+	res := Result{
+		Name:              cfg.Name,
+		Tasks:             cfg.NumTasks,
+		Summary:           sum,
+		DeviceUtilization: dev.Utilization(),
+		EnergyJoules:      dev.EnergyJoules(pm),
+		AvgPowerW:         dev.AveragePowerW(pm),
+	}
+	if res.AvgPowerW > 0 {
+		res.FPSPerWatt = sum.TotalFPS / res.AvgPowerW
+	}
+	return res, nil
+}
+
+func buildScheduler(cfg RunConfig) (sched.Scheduler, error) {
+	switch cfg.Kind {
+	case KindSGPRS:
+		c := core.DefaultConfig(cfg.Name, cfg.ContextSMs)
+		c.DisableMediumPromotion = cfg.DisableMediumPromotion
+		c.DisableLateDrop = cfg.DisableLateDrop
+		c.FlattenPriorities = cfg.FlattenPriorities
+		c.AssignPolicy = cfg.AssignPolicy
+		if cfg.HighStreams > 0 || cfg.LowStreams > 0 {
+			c.HighStreams = cfg.HighStreams
+			c.LowStreams = cfg.LowStreams
+		}
+		return core.New(c)
+	case KindNaive:
+		c := naive.DefaultConfig(cfg.Name, cfg.ContextSMs)
+		if cfg.NaiveSyncMS > 0 {
+			c.SyncOverheadMS = cfg.NaiveSyncMS
+		}
+		if cfg.NaiveReconfigBaseMS > 0 {
+			c.ReconfigBaseMS = cfg.NaiveReconfigBaseMS
+		}
+		if cfg.NaiveReconfigPerResMS > 0 {
+			c.ReconfigPerResidentMS = cfg.NaiveReconfigPerResMS
+		}
+		return naive.New(c)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler kind %v", cfg.Kind)
+	}
+}
+
+// ContextPool computes the per-context SM allocation for a pool of np
+// contexts at over-subscription level os on a device of totalSMs: each
+// context gets round(os·total/np), clamped to [1, total].
+func ContextPool(np int, os float64, totalSMs int) []int {
+	if np <= 0 || os <= 0 || totalSMs <= 0 {
+		panic(fmt.Sprintf("sim: invalid pool np=%d os=%v sms=%d", np, os, totalSMs))
+	}
+	per := int(math.Round(os * float64(totalSMs) / float64(np)))
+	if per < 1 {
+		per = 1
+	}
+	if per > totalSMs {
+		per = totalSMs
+	}
+	out := make([]int, np)
+	for i := range out {
+		out[i] = per
+	}
+	return out
+}
+
+// Variant is one scheduler configuration of a scenario sweep.
+type Variant struct {
+	Kind Kind
+	Name string
+	OS   float64 // over-subscription level (SGPRS); 1.0 for naive
+}
+
+// ScenarioVariants returns the paper's four series per scenario: the naive
+// baseline plus SGPRS at over-subscription 1.0, 1.5, and 2.0.
+func ScenarioVariants() []Variant {
+	return []Variant{
+		{Kind: KindNaive, Name: "naive", OS: 1.0},
+		{Kind: KindSGPRS, Name: "sgprs-1.0x", OS: 1.0},
+		{Kind: KindSGPRS, Name: "sgprs-1.5x", OS: 1.5},
+		{Kind: KindSGPRS, Name: "sgprs-2.0x", OS: 2.0},
+	}
+}
+
+// ScenarioContexts reports the context-pool size of a paper scenario:
+// Scenario 1 has two contexts, Scenario 2 has three.
+func ScenarioContexts(scenario int) (int, error) {
+	switch scenario {
+	case 1:
+		return 2, nil
+	case 2:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scenario %d", scenario)
+	}
+}
+
+// SweepSeries runs one variant across the task counts and returns the
+// figure series.
+func SweepSeries(base RunConfig, taskCounts []int) ([]metrics.Point, error) {
+	series := make([]metrics.Point, 0, len(taskCounts))
+	for _, n := range taskCounts {
+		cfg := base
+		cfg.NumTasks = n
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sweep %s n=%d: %w", base.Name, n, err)
+		}
+		series = append(series, metrics.Point{Tasks: n, Summary: res.Summary})
+	}
+	return series, nil
+}
+
+// ScenarioRun is a full figure-3 or figure-4 dataset: every variant swept
+// over the task counts.
+type ScenarioRun struct {
+	Scenario   int
+	TaskCounts []int
+	Series     map[string][]metrics.Point // variant name → series
+	Order      []string                   // display order
+}
+
+// RunScenario regenerates one paper scenario (Figures 3 or 4).
+func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*ScenarioRun, error) {
+	np, err := ScenarioContexts(scenario)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioRun{
+		Scenario:   scenario,
+		TaskCounts: taskCounts,
+		Series:     map[string][]metrics.Point{},
+	}
+	for _, v := range ScenarioVariants() {
+		base := RunConfig{
+			Kind:       v.Kind,
+			Name:       v.Name,
+			ContextSMs: ContextPool(np, v.OS, speedup.DeviceSMs),
+			HorizonSec: horizonSec,
+			Seed:       seed,
+			NumTasks:   1, // overwritten by the sweep
+		}
+		series, err := SweepSeries(base, taskCounts)
+		if err != nil {
+			return nil, err
+		}
+		out.Series[v.Name] = series
+		out.Order = append(out.Order, v.Name)
+	}
+	return out, nil
+}

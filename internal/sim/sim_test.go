@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"sgprs/internal/metrics"
+	"sgprs/internal/speedup"
+)
+
+func TestContextPool(t *testing.T) {
+	cases := []struct {
+		np   int
+		os   float64
+		want int
+	}{
+		{2, 1.0, 34}, // Scenario 1
+		{2, 1.5, 51},
+		{2, 2.0, 68},
+		{3, 1.0, 23}, // Scenario 2
+		{3, 1.5, 34},
+		{3, 2.0, 45},
+	}
+	for _, c := range cases {
+		pool := ContextPool(c.np, c.os, 68)
+		if len(pool) != c.np {
+			t.Fatalf("np=%d os=%v: pool size %d", c.np, c.os, len(pool))
+		}
+		for _, sms := range pool {
+			if sms != c.want {
+				t.Errorf("np=%d os=%v: %d SMs per context, want %d", c.np, c.os, sms, c.want)
+			}
+		}
+	}
+	// Clamping.
+	if got := ContextPool(1, 5.0, 68); got[0] != 68 {
+		t.Errorf("over-clamp = %v", got)
+	}
+	if got := ContextPool(200, 0.1, 68); got[0] != 1 {
+		t.Errorf("under-clamp = %v", got)
+	}
+}
+
+func TestContextPoolPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ContextPool(0, 1, 68) },
+		func() { ContextPool(2, 0, 68) },
+		func() { ContextPool(2, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScenarioContexts(t *testing.T) {
+	if np, err := ScenarioContexts(1); err != nil || np != 2 {
+		t.Errorf("scenario 1 = %d, %v", np, err)
+	}
+	if np, err := ScenarioContexts(2); err != nil || np != 3 {
+		t.Errorf("scenario 2 = %d, %v", np, err)
+	}
+	if _, err := ScenarioContexts(3); err == nil {
+		t.Error("scenario 3 accepted")
+	}
+}
+
+func TestScenarioVariants(t *testing.T) {
+	vs := ScenarioVariants()
+	if len(vs) != 4 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	if vs[0].Kind != KindNaive || vs[0].OS != 1.0 {
+		t.Errorf("first variant = %+v, want naive@1.0", vs[0])
+	}
+	oss := []float64{1.0, 1.5, 2.0}
+	for i, v := range vs[1:] {
+		if v.Kind != KindSGPRS || v.OS != oss[i] {
+			t.Errorf("variant %d = %+v", i+1, v)
+		}
+	}
+}
+
+func TestReferenceGraphCalibration(t *testing.T) {
+	m := speedup.DefaultModel()
+	g := ReferenceGraph(m)
+	lat := g.LatencyMS(m, speedup.DeviceSMs)
+	if math.Abs(lat-ReferenceLatencyMS) > 1e-9 {
+		t.Errorf("reference latency = %v, want %v", lat, ReferenceLatencyMS)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	cfg := RunConfig{Kind: KindSGPRS, ContextSMs: []int{34, 34}, NumTasks: 4}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "sgprs" || cfg.FPS != 30 || cfg.Stages != 6 ||
+		cfg.HorizonSec != 10 || cfg.WarmUpSec != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if cfg.GPU.TotalSMs != 68 {
+		t.Errorf("GPU config not defaulted: %+v", cfg.GPU)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := []RunConfig{
+		{Kind: KindSGPRS, NumTasks: 1},                                                       // no contexts
+		{Kind: KindSGPRS, ContextSMs: []int{34}},                                             // no tasks
+		{Kind: KindSGPRS, ContextSMs: []int{34}, NumTasks: 1, HorizonSec: 0.5, WarmUpSec: 1}, // bad window
+	}
+	for i, cfg := range cases {
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunSingleTask(t *testing.T) {
+	res, err := Run(RunConfig{
+		Kind:       KindSGPRS,
+		ContextSMs: []int{34, 34},
+		NumTasks:   1,
+		HorizonSec: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 30-fps task, no contention: 30 fps, zero misses.
+	if math.Abs(res.Summary.TotalFPS-30) > 1.5 {
+		t.Errorf("fps = %v, want ~30", res.Summary.TotalFPS)
+	}
+	if res.Summary.Missed != 0 {
+		t.Errorf("missed = %d", res.Summary.Missed)
+	}
+	if res.DeviceUtilization <= 0 || res.DeviceUtilization > 1 {
+		t.Errorf("utilization = %v", res.DeviceUtilization)
+	}
+}
+
+func TestRunNaive(t *testing.T) {
+	res, err := Run(RunConfig{
+		Kind:       KindNaive,
+		ContextSMs: []int{34, 34},
+		NumTasks:   4,
+		HorizonSec: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Summary.TotalFPS-120) > 3 {
+		t.Errorf("fps = %v, want ~120", res.Summary.TotalFPS)
+	}
+	if res.Summary.Missed != 0 {
+		t.Errorf("missed = %d at light load", res.Summary.Missed)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := RunConfig{
+		Kind:       KindSGPRS,
+		ContextSMs: []int{51, 51},
+		NumTasks:   26, // over-subscribed and contended: jitter active
+		HorizonSec: 2,
+		Seed:       9,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}
+
+func TestSweepSeries(t *testing.T) {
+	base := RunConfig{
+		Kind:       KindSGPRS,
+		Name:       "sgprs",
+		ContextSMs: []int{34, 34},
+		NumTasks:   1,
+		HorizonSec: 2,
+	}
+	series, err := SweepSeries(base, []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d points", len(series))
+	}
+	// FPS grows linearly with task count below saturation.
+	for i, p := range series {
+		want := float64((i + 1) * 2 * 30)
+		if math.Abs(p.Summary.TotalFPS-want) > 3 {
+			t.Errorf("n=%d fps = %v, want ~%v", p.Tasks, p.Summary.TotalFPS, want)
+		}
+	}
+}
+
+func TestRunScenarioSmall(t *testing.T) {
+	run, err := RunScenario(1, []int{2, 4}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Scenario != 1 || len(run.Order) != 4 {
+		t.Fatalf("scenario run = %+v", run)
+	}
+	for name, series := range run.Series {
+		if len(series) != 2 {
+			t.Errorf("%s series = %d points", name, len(series))
+		}
+		// At 2 and 4 tasks everything meets deadlines.
+		if metrics.PivotPoint(series) != 4 {
+			t.Errorf("%s pivot = %d, want 4", name, metrics.PivotPoint(series))
+		}
+	}
+	if _, err := RunScenario(9, []int{1}, 1, 1); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSGPRS.String() != "sgprs" || KindNaive.String() != "naive" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+// TestHeadlineClaim is the repository's sanity anchor: with the default
+// calibration, SGPRS beats the naive baseline on both pivot point and
+// saturated FPS in scenario 1, and the naive scheduler collapses after its
+// pivot — the paper's central comparison.
+func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	counts := []int{8, 16, 20, 24, 28}
+	run, err := RunScenario(1, counts, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := run.Series["naive"]
+	sgprs := run.Series["sgprs-2.0x"]
+	if pn, ps := metrics.PivotPoint(naive), metrics.PivotPoint(sgprs); pn >= ps {
+		t.Errorf("naive pivot %d should precede SGPRS pivot %d", pn, ps)
+	}
+	fn, fs := metrics.SaturationFPS(naive), metrics.SaturationFPS(sgprs)
+	if fn >= fs {
+		t.Errorf("naive saturation %v should trail SGPRS %v", fn, fs)
+	}
+	drop := (fs - fn) / fs
+	if drop < 0.25 || drop > 0.50 {
+		t.Errorf("naive FPS drop = %.0f%%, paper reports ~38%%", drop*100)
+	}
+	// Naive DMR collapses to ~1 past its pivot; SGPRS stays moderate.
+	if dmr := naive[len(naive)-1].Summary.DMR; dmr < 0.9 {
+		t.Errorf("naive terminal DMR = %v, want ~1", dmr)
+	}
+	if dmr := sgprs[len(sgprs)-1].Summary.DMR; dmr > 0.4 {
+		t.Errorf("SGPRS terminal DMR = %v, want moderate", dmr)
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Var() != 0 {
+		t.Error("zero value should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Errorf("n = %d", o.N())
+	}
+	if math.Abs(o.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", o.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(o.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", o.Var(), 32.0/7)
+	}
+	if math.Abs(o.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("std = %v", o.Std())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Errorf("min/max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineSingleSample(t *testing.T) {
+	var o Online
+	o.Add(3)
+	if o.Mean() != 3 || o.Var() != 0 || o.Min() != 3 || o.Max() != 3 {
+		t.Errorf("single sample stats wrong: %+v", o)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("q%.2f = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{10, 20}, 0.5); got != 15 {
+		t.Errorf("median of {10,20} = %v, want 15", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.99} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	want := []int{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if h.Bins[i] != w {
+			t.Errorf("bin %d = %d, want %d (bins %v)", i, h.Bins[i], w, h.Bins)
+		}
+	}
+	// Out-of-range values clamp to edge bins.
+	h.Add(-5)
+	h.Add(50)
+	if h.Bins[0] != 3 || h.Bins[4] != 3 {
+		t.Errorf("clamping failed: %v", h.Bins)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("bin 0 center = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("bin 4 center = %v, want 9", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Online mean/min/max agree with direct computation.
+func TestOnlineAgreesWithDirect(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var o Online
+		var xs []float64
+		for _, r := range raw {
+			x := float64(r)
+			xs = append(xs, x)
+			o.Add(x)
+		}
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return math.Abs(o.Mean()-Mean(xs)) < 1e-6 && o.Min() == mn && o.Max() == mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(q1%101) / 100
+		b := float64(q2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(xs, a), Quantile(xs, b)
+		return qa <= qb+1e-9 &&
+			qa >= Quantile(xs, 0)-1e-9 &&
+			qb <= Quantile(xs, 1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

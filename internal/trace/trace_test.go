@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sgprs/internal/des"
+	"sgprs/internal/gpu"
+	"sgprs/internal/speedup"
+)
+
+func runTraced(t *testing.T) *Recorder {
+	t.Helper()
+	eng := des.NewEngine()
+	cfg := gpu.DefaultConfig()
+	dev, err := gpu.NewDevice(eng, speedup.DefaultModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	dev.SetObserver(rec)
+	ctx, _ := dev.CreateContext("cp0", 34)
+	s1 := ctx.AddStream("hi0", gpu.HighPriority)
+	s2 := ctx.AddStream("lo0", gpu.LowPriority)
+	for i := 0; i < 3; i++ {
+		s1.Submit(&gpu.Kernel{
+			Label:  "k-hi",
+			Shares: []speedup.WorkShare{{Class: speedup.Conv, Work: 2}},
+		})
+		s2.Submit(&gpu.Kernel{
+			Label:  "k-lo",
+			Shares: []speedup.WorkShare{{Class: speedup.ReLU, Work: 1}},
+		})
+	}
+	eng.Run()
+	return rec
+}
+
+func TestRecorderCollectsSpans(t *testing.T) {
+	rec := runTraced(t)
+	if got := len(rec.Spans()); got != 6 {
+		t.Fatalf("spans = %d, want 6", got)
+	}
+	for _, s := range rec.Spans() {
+		if s.End <= s.Start {
+			t.Errorf("span %q has non-positive duration", s.Label)
+		}
+		if s.Context != "cp0" {
+			t.Errorf("span context = %q", s.Context)
+		}
+		if !strings.Contains(s.Stream, "cp0/") {
+			t.Errorf("span stream = %q", s.Stream)
+		}
+		if s.Duration() != s.End-s.Start {
+			t.Error("Duration inconsistent")
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	rec := runTraced(t)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("phase = %v", e["ph"])
+		}
+		if e["dur"].(float64) <= 0 {
+			t.Errorf("duration = %v", e["dur"])
+		}
+		if e["pid"] != "cp0" {
+			t.Errorf("pid = %v", e["pid"])
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	rec := runTraced(t)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 { // header + 6 spans
+		t.Fatalf("lines = %d, want 7", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "label,context,stream,start_ms") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "k-hi,") && !strings.HasPrefix(l, "k-lo,") {
+			t.Errorf("row = %q", l)
+		}
+	}
+}
+
+func TestFinishWithoutStartIgnored(t *testing.T) {
+	rec := NewRecorder()
+	// Simulate a kernel that was started before recording began.
+	k := &gpu.Kernel{Label: "ghost"}
+	rec.KernelFinished(k, des.Second)
+	if len(rec.Spans()) != 0 {
+		t.Error("ghost span recorded")
+	}
+}
+
+func TestEmptyExports(t *testing.T) {
+	rec := NewRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty chrome trace = %q", buf.String())
+	}
+	buf.Reset()
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 1 {
+		t.Errorf("empty csv lines = %d", len(lines))
+	}
+}

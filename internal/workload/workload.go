@@ -1,0 +1,155 @@
+// Package workload builds periodic task sets and drives job releases.
+//
+// The paper's evaluation uses identical periodic ResNet18 tasks at 30 fps
+// with explicit deadlines, six stages each; this package generalises that to
+// arbitrary mixes of networks, rates, stage counts, and release offsets.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/rt"
+	"sgprs/internal/sched"
+)
+
+// TaskSpec describes one periodic task to generate.
+type TaskSpec struct {
+	Name   string
+	Graph  *dnn.Graph
+	Stages int
+	FPS    float64
+	// DeadlineFactor scales the relative deadline as a fraction of the
+	// period; 1.0 (implicit deadline) when zero.
+	DeadlineFactor float64
+	Offset         des.Time
+	// ReleaseJitter bounds a uniform random delay added to every release
+	// (sporadic arrivals with a minimum inter-arrival of Period).
+	ReleaseJitter des.Time
+	// WorkVariation is the relative standard deviation of per-job
+	// execution demand around the profiled nominal (truncated normal,
+	// clamped to [1−2σ, 1+3σ] with a floor of 0.5). Zero means every job
+	// costs exactly its nominal work; positive values model WCET
+	// overruns the offline profile did not capture.
+	WorkVariation float64
+}
+
+// Identical returns n copies of one spec, optionally staggering release
+// offsets evenly across the period (stagger=false reproduces the paper's
+// synchronous releases — the worst case for contention).
+func Identical(n int, spec TaskSpec, stagger bool) []TaskSpec {
+	out := make([]TaskSpec, n)
+	period := des.FromSeconds(1 / spec.FPS)
+	for i := range out {
+		out[i] = spec
+		out[i].Name = fmt.Sprintf("%s-%d", spec.Name, i)
+		if stagger {
+			out[i].Offset = des.Time(int64(period) * int64(i) / int64(n))
+		}
+	}
+	return out
+}
+
+// Build materialises rt.Tasks from specs: partitions each graph into its
+// stage chain and wires periods, deadlines, and offsets. WCETs remain unset;
+// run the profiler before attaching a scheduler.
+func Build(specs []TaskSpec) ([]*rt.Task, error) {
+	tasks := make([]*rt.Task, 0, len(specs))
+	for i, sp := range specs {
+		if sp.FPS <= 0 {
+			return nil, fmt.Errorf("workload: task %q fps %v must be positive", sp.Name, sp.FPS)
+		}
+		if sp.Graph == nil {
+			return nil, fmt.Errorf("workload: task %q has no graph", sp.Name)
+		}
+		stages, err := dnn.Partition(sp.Graph, sp.Stages)
+		if err != nil {
+			return nil, fmt.Errorf("workload: task %q: %w", sp.Name, err)
+		}
+		period := des.FromSeconds(1 / sp.FPS)
+		df := sp.DeadlineFactor
+		if df == 0 {
+			df = 1
+		}
+		if df < 0 || df > 1 {
+			return nil, fmt.Errorf("workload: task %q deadline factor %v must be in (0,1]", sp.Name, df)
+		}
+		deadline := des.Time(float64(period) * df)
+		t, err := rt.NewTask(i, sp.Name, sp.Graph, stages, period, deadline, sp.Offset)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		if sp.ReleaseJitter < 0 || sp.WorkVariation < 0 {
+			return nil, fmt.Errorf("workload: task %q jitter/variation must be non-negative", sp.Name)
+		}
+		if sp.ReleaseJitter >= period {
+			return nil, fmt.Errorf("workload: task %q release jitter %v must stay below the period %v", sp.Name, sp.ReleaseJitter, period)
+		}
+		t.ReleaseJitter = sp.ReleaseJitter
+		t.WorkVariation = sp.WorkVariation
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// Generator schedules periodic releases on an engine and records every job.
+// Release jitter and per-job work variation draw from a seeded stream forked
+// per task, so adding a task never perturbs another task's draws.
+type Generator struct {
+	eng   *des.Engine
+	sched sched.Scheduler
+	rng   *des.RNG
+	jobs  []*rt.Job
+}
+
+// NewGenerator wires a generator to the engine and scheduler. The seed feeds
+// jitter and work-variation draws; generators for deterministic workloads
+// may pass anything.
+func NewGenerator(eng *des.Engine, s sched.Scheduler) *Generator {
+	return NewGeneratorSeeded(eng, s, 1)
+}
+
+// NewGeneratorSeeded is NewGenerator with an explicit random seed.
+func NewGeneratorSeeded(eng *des.Engine, s sched.Scheduler, seed uint64) *Generator {
+	return &Generator{eng: eng, sched: s, rng: des.NewRNG(seed).Fork(0x30B5)}
+}
+
+// Jobs lists every job released so far, in release order.
+func (g *Generator) Jobs() []*rt.Job { return g.jobs }
+
+// Start schedules all releases of the task set up to the horizon. Releases
+// exactly at the horizon are excluded (their deadline would extend past the
+// measured window). Tasks with ReleaseJitter release sporadically (a uniform
+// delay in [0, jitter) on top of the periodic instant); tasks with
+// WorkVariation stamp each job with a truncated-normal work scale.
+func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
+	for _, t := range tasks {
+		t := t
+		rng := g.rng.Fork(uint64(t.ID) + 1)
+		var release func(idx int)
+		release = func(idx int) {
+			at := t.Offset.Add(des.Time(int64(t.Period) * int64(idx)))
+			if t.ReleaseJitter > 0 {
+				at = at.Add(des.Time(rng.Float64() * float64(t.ReleaseJitter)))
+			}
+			if at >= horizon {
+				return
+			}
+			g.eng.Schedule(at, "release:"+t.Name, func(now des.Time) {
+				job := t.NewJob(idx, now)
+				if t.WorkVariation > 0 {
+					job.WorkScale = rng.TruncNormal(
+						1, t.WorkVariation,
+						math.Max(0.5, 1-2*t.WorkVariation),
+						1+3*t.WorkVariation)
+				}
+				g.jobs = append(g.jobs, job)
+				g.sched.OnRelease(job, now)
+				release(idx + 1)
+			})
+		}
+		release(0)
+	}
+}

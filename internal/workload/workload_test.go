@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"testing"
+
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/gpu"
+	"sgprs/internal/rt"
+)
+
+func specResNet() TaskSpec {
+	return TaskSpec{
+		Name:   "resnet18",
+		Graph:  dnn.ResNet18(dnn.DefaultCostModel()),
+		Stages: 6,
+		FPS:    30,
+	}
+}
+
+func TestIdenticalSpecs(t *testing.T) {
+	specs := Identical(5, specResNet(), false)
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i, sp := range specs {
+		if sp.Offset != 0 {
+			t.Errorf("unstaggered spec %d has offset %v", i, sp.Offset)
+		}
+		if sp.FPS != 30 || sp.Stages != 6 {
+			t.Errorf("spec %d lost fields", i)
+		}
+	}
+	if specs[0].Name == specs[1].Name {
+		t.Error("specs share a name")
+	}
+}
+
+func TestIdenticalStaggered(t *testing.T) {
+	specs := Identical(4, specResNet(), true)
+	period := des.FromSeconds(1.0 / 30)
+	for i, sp := range specs {
+		want := des.Time(int64(period) * int64(i) / 4)
+		if sp.Offset != want {
+			t.Errorf("spec %d offset = %v, want %v", i, sp.Offset, want)
+		}
+	}
+}
+
+func TestBuild(t *testing.T) {
+	tasks, err := Build(Identical(3, specResNet(), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("got %d tasks", len(tasks))
+	}
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Errorf("task %d has ID %d", i, task.ID)
+		}
+		if task.NumStages() != 6 {
+			t.Errorf("task %d has %d stages", i, task.NumStages())
+		}
+		if task.Period != des.FromSeconds(1.0/30) {
+			t.Errorf("task %d period %v", i, task.Period)
+		}
+		if task.Deadline != task.Period {
+			t.Errorf("implicit deadline expected, got %v", task.Deadline)
+		}
+		if task.Profiled() {
+			t.Error("Build must not profile")
+		}
+	}
+}
+
+func TestBuildDeadlineFactor(t *testing.T) {
+	sp := specResNet()
+	sp.DeadlineFactor = 0.5
+	tasks, err := Build([]TaskSpec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Deadline != tasks[0].Period/2 {
+		t.Errorf("deadline = %v, want half period", tasks[0].Deadline)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := specResNet()
+	bad.FPS = 0
+	if _, err := Build([]TaskSpec{bad}); err == nil {
+		t.Error("zero fps accepted")
+	}
+	bad = specResNet()
+	bad.Graph = nil
+	if _, err := Build([]TaskSpec{bad}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	bad = specResNet()
+	bad.Stages = 10000
+	if _, err := Build([]TaskSpec{bad}); err == nil {
+		t.Error("impossible stage count accepted")
+	}
+	bad = specResNet()
+	bad.DeadlineFactor = 1.5
+	if _, err := Build([]TaskSpec{bad}); err == nil {
+		t.Error("deadline factor > 1 accepted")
+	}
+}
+
+// genRecorder counts releases without doing any scheduling.
+type genRecorder struct{ n int }
+
+func (g *genRecorder) Name() string                                      { return "recorder" }
+func (g *genRecorder) Attach(*des.Engine, *gpu.Device, []*rt.Task) error { return nil }
+func (g *genRecorder) OnRelease(*rt.Job, des.Time)                       { g.n++ }
+
+func TestGeneratorPeriodicReleases(t *testing.T) {
+	tasks, err := Build(Identical(2, specResNet(), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		wcets := make([]des.Time, task.NumStages())
+		for i := range wcets {
+			wcets[i] = des.Millisecond
+		}
+		if err := task.SetWCETs(wcets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := des.NewEngine()
+	rec := &genRecorder{}
+	gen := NewGenerator(eng, rec)
+	horizon := des.FromSeconds(1)
+	gen.Start(tasks, horizon)
+	eng.RunUntil(horizon)
+
+	// 30 fps for 1 s from offset 0. The period rounds to 33333333 ns,
+	// so release 30 lands at 0.9999... s, just inside the horizon:
+	// 31 releases per task.
+	if got := len(gen.Jobs()); got != 62 {
+		t.Fatalf("released %d jobs, want 62 (2 tasks x 31)", got)
+	}
+	// Job indices and releases are periodic per task.
+	per := map[int]int{}
+	for _, j := range gen.Jobs() {
+		want := j.Task.Offset.Add(des.Time(int64(j.Task.Period) * int64(j.Index)))
+		if j.Release != want {
+			t.Fatalf("job %s released at %v, want %v", j, j.Release, want)
+		}
+		per[j.Task.ID]++
+	}
+	if per[0] != 31 || per[1] != 31 {
+		t.Errorf("per-task releases = %v", per)
+	}
+	if rec.n != 62 {
+		t.Errorf("scheduler saw %d releases, want 62", rec.n)
+	}
+}
+
+func TestGeneratorStaggeredOffsets(t *testing.T) {
+	tasks, err := Build(Identical(3, specResNet(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		wcets := make([]des.Time, task.NumStages())
+		for i := range wcets {
+			wcets[i] = des.Millisecond
+		}
+		task.SetWCETs(wcets)
+	}
+	eng := des.NewEngine()
+	gen := NewGenerator(eng, &genRecorder{})
+	gen.Start(tasks, des.FromSeconds(0.1))
+	eng.RunUntil(des.FromSeconds(0.1))
+	for _, j := range gen.Jobs() {
+		if j.Index == 0 && j.Release != j.Task.Offset {
+			t.Errorf("job %s first release %v != offset %v", j, j.Release, j.Task.Offset)
+		}
+	}
+}
+
+func TestReleaseJitterShiftsReleases(t *testing.T) {
+	sp := specResNet()
+	sp.ReleaseJitter = des.FromMillis(5)
+	tasks, err := Build([]TaskSpec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcets := make([]des.Time, tasks[0].NumStages())
+	for i := range wcets {
+		wcets[i] = des.Millisecond
+	}
+	tasks[0].SetWCETs(wcets)
+	eng := des.NewEngine()
+	gen := NewGeneratorSeeded(eng, &genRecorder{}, 7)
+	gen.Start(tasks, des.FromSeconds(1))
+	eng.RunUntil(des.FromSeconds(1))
+
+	period := tasks[0].Period
+	jittered := 0
+	for _, j := range gen.Jobs() {
+		nominal := des.Time(int64(period) * int64(j.Index))
+		off := j.Release - nominal
+		if off < 0 || off >= des.FromMillis(5) {
+			t.Fatalf("job %d jitter %v outside [0, 5ms)", j.Index, off)
+		}
+		if off > 0 {
+			jittered++
+		}
+	}
+	if jittered == 0 {
+		t.Error("no release was actually jittered")
+	}
+}
+
+func TestWorkVariationStampsJobs(t *testing.T) {
+	sp := specResNet()
+	sp.WorkVariation = 0.2
+	tasks, err := Build([]TaskSpec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcets := make([]des.Time, tasks[0].NumStages())
+	for i := range wcets {
+		wcets[i] = des.Millisecond
+	}
+	tasks[0].SetWCETs(wcets)
+	eng := des.NewEngine()
+	gen := NewGeneratorSeeded(eng, &genRecorder{}, 7)
+	gen.Start(tasks, des.FromSeconds(1))
+	eng.RunUntil(des.FromSeconds(1))
+
+	varied := 0
+	for _, j := range gen.Jobs() {
+		if j.WorkScale < 0.5 || j.WorkScale > 1.6+1e-9 {
+			t.Fatalf("work scale %v outside clamp", j.WorkScale)
+		}
+		if j.WorkScale != 1 {
+			varied++
+		}
+	}
+	if varied == 0 {
+		t.Error("no job received a varied work scale")
+	}
+}
+
+func TestBuildRejectsBadJitter(t *testing.T) {
+	sp := specResNet()
+	sp.ReleaseJitter = des.FromSeconds(1) // ≥ period
+	if _, err := Build([]TaskSpec{sp}); err == nil {
+		t.Error("jitter >= period accepted")
+	}
+	sp = specResNet()
+	sp.WorkVariation = -1
+	if _, err := Build([]TaskSpec{sp}); err == nil {
+		t.Error("negative variation accepted")
+	}
+}

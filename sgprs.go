@@ -1,0 +1,88 @@
+// Package sgprs is a library-scale reproduction of "SGPRS: Seamless GPU
+// Partitioning Real-Time Scheduler for Periodic Deep Learning Workloads"
+// (Fakhim Babaei and Chantem, DATE 2024).
+//
+// It provides, on a deterministic discrete-event model of a spatially
+// partitioned GPU (an RTX 2080 Ti with CUDA-MPS-style contexts and priority
+// streams):
+//
+//   - the SGPRS real-time scheduler — offline WCET profiling, proportional
+//     virtual deadlines, two-level priority assignment with online medium
+//     promotion, three-rule context assignment, EDF stage queues, and
+//     zero-cost partition switching over a pre-created context pool;
+//   - the paper's naive spatial-partitioning baseline;
+//   - a ResNet18 operator graph (plus VGG11/TinyCNN/MLP) with a MAC-driven
+//     cost model and a WCET-balanced stage partitioner;
+//   - workload generation, metrics (total FPS, deadline miss rate, pivot
+//     point), execution tracing, and sweep drivers that regenerate every
+//     figure of the paper's evaluation.
+//
+// This package is a facade: it re-exports the pieces a downstream user needs
+// to run experiments. The implementation lives under internal/; DESIGN.md
+// documents the architecture and the hardware-substitution decisions, and
+// EXPERIMENTS.md records reproduced-versus-paper numbers.
+//
+// Quick start:
+//
+//	res, err := sgprs.Run(sgprs.RunConfig{
+//	    Kind:       sgprs.KindSGPRS,
+//	    ContextSMs: []int{34, 34},
+//	    NumTasks:   8,
+//	})
+//	fmt.Println(res.Summary)
+package sgprs
+
+import (
+	"sgprs/internal/metrics"
+	"sgprs/internal/sim"
+)
+
+// RunConfig describes one simulation run. See sim.RunConfig for field
+// documentation.
+type RunConfig = sim.RunConfig
+
+// Result is the outcome of one run.
+type Result = sim.Result
+
+// Summary holds the paper's evaluation metrics for one run.
+type Summary = metrics.Summary
+
+// Point is one sweep sample (task count plus summary).
+type Point = metrics.Point
+
+// Kind selects the scheduler implementation.
+type Kind = sim.Kind
+
+// Scheduler kinds.
+const (
+	KindSGPRS = sim.KindSGPRS
+	KindNaive = sim.KindNaive
+)
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg RunConfig) (Result, error) { return sim.Run(cfg) }
+
+// SweepSeries sweeps one configuration across task counts — one figure
+// series.
+func SweepSeries(base RunConfig, taskCounts []int) ([]Point, error) {
+	return sim.SweepSeries(base, taskCounts)
+}
+
+// RunScenario regenerates a full paper scenario (1 or 2): the naive baseline
+// plus SGPRS at over-subscription 1.0/1.5/2.0 over the task counts.
+func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*sim.ScenarioRun, error) {
+	return sim.RunScenario(scenario, taskCounts, horizonSec, seed)
+}
+
+// ContextPool computes the per-context SM allocation for np contexts at
+// over-subscription level os on a device with totalSMs SMs.
+func ContextPool(np int, os float64, totalSMs int) []int {
+	return sim.ContextPool(np, os, totalSMs)
+}
+
+// PivotPoint reports the largest task count with zero deadline misses in a
+// sweep series.
+func PivotPoint(series []Point) int { return metrics.PivotPoint(series) }
+
+// SaturationFPS reports the maximum total FPS reached in a sweep series.
+func SaturationFPS(series []Point) float64 { return metrics.SaturationFPS(series) }

@@ -1,0 +1,46 @@
+package sgprs_test
+
+import (
+	"testing"
+
+	"sgprs"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, exactly as the
+// package documentation advertises.
+func TestFacadeQuickstart(t *testing.T) {
+	res, err := sgprs.Run(sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
+		ContextSMs: []int{34, 34},
+		NumTasks:   4,
+		HorizonSec: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.TotalFPS < 110 || res.Summary.TotalFPS > 130 {
+		t.Errorf("fps = %v, want ~120", res.Summary.TotalFPS)
+	}
+	if res.Summary.Missed != 0 {
+		t.Errorf("missed = %d at light load", res.Summary.Missed)
+	}
+}
+
+func TestFacadeSweepAndPivot(t *testing.T) {
+	series, err := sgprs.SweepSeries(sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
+		Name:       "sgprs",
+		ContextSMs: sgprs.ContextPool(2, 1.5, 68),
+		NumTasks:   1,
+		HorizonSec: 2,
+	}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sgprs.PivotPoint(series); got != 4 {
+		t.Errorf("pivot = %d, want 4", got)
+	}
+	if got := sgprs.SaturationFPS(series); got < 110 {
+		t.Errorf("saturation = %v", got)
+	}
+}
