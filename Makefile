@@ -1,0 +1,29 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs the
+# same gates in the same order as a push.
+
+GO ?= go
+
+.PHONY: build test race bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one iteration of every benchmark (the CI smoke); use
+## `go test -bench . -benchtime 5x .` for stable figure numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+ci: lint build race bench

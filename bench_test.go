@@ -13,6 +13,7 @@ package sgprs_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sgprs"
@@ -20,6 +21,7 @@ import (
 	"sgprs/internal/dnn"
 	"sgprs/internal/gpu"
 	"sgprs/internal/profile"
+	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
 )
 
@@ -250,6 +252,40 @@ func BenchmarkAblationLateDrop(b *testing.B) {
 		cfg.DisableLateDrop = true
 		runAblation(b, cfg)
 	})
+}
+
+// BenchmarkScenarioRegeneration compares sequential versus parallel
+// regeneration of a full paper scenario (the 4-variant × task-count grid
+// behind Figures 3a/3b). "sequential" is the reference driver in package
+// sim; the parallel cases go through the experiment runner at increasing
+// worker counts. Outputs are bit-identical across all cases (the runner's
+// determinism tests pin this); only wall-clock differs — on a multi-core
+// host the parallel cases approach a 1/min(workers, cores, 8 jobs)
+// speedup, on a single core they match sequential to within pool overhead.
+func BenchmarkScenarioRegeneration(b *testing.B) {
+	counts := []int{8, 16, 24}
+	const horizon = 2
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunScenario(1, counts, horizon, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		w := w
+		b.Run(fmt.Sprintf("parallel-jobs%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sgprs.RunScenarioWith(1, counts, horizon, 1, sgprs.SweepOptions{Jobs: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: simulated kernel

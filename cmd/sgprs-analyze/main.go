@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	sgprs-analyze [-n 24] [-fps 30] [-stages 6] [-contexts 34,34] [-verify]
+//	sgprs-analyze [-n 24] [-fps 30] [-stages 6] [-contexts 34,34] [-verify] [-jobs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -20,6 +21,7 @@ import (
 	"sgprs/internal/gpu"
 	"sgprs/internal/profile"
 	"sgprs/internal/rt"
+	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
 )
@@ -32,6 +34,7 @@ func main() {
 	stages := flag.Int("stages", 6, "stages per task")
 	contexts := flag.String("contexts", "34,34", "context pool (for the verification run)")
 	verify := flag.Bool("verify", false, "run a simulation sweep around the predicted pivot")
+	jobs := flag.Int("jobs", 0, "parallel workers for the verification sweep (0 = all CPUs)")
 	flag.Parse()
 
 	model := speedup.DefaultModel()
@@ -77,7 +80,7 @@ func main() {
 	}
 	fmt.Println("\nverification sweep (4 s simulated per point):")
 	counts := []int{pivot - 2, pivot, pivot + 2}
-	series, err := sim.SweepSeries(sim.RunConfig{
+	series, runErr := runner.SweepSeries(sim.RunConfig{
 		Kind:       sim.KindSGPRS,
 		Name:       "sgprs",
 		ContextSMs: pool,
@@ -85,13 +88,18 @@ func main() {
 		FPS:        *fps,
 		Stages:     *stages,
 		HorizonSec: 4,
-	}, counts)
-	if err != nil {
-		log.Fatal(err)
+	}, counts, runner.Options{Jobs: *jobs})
+	// A failed point is reported with its coordinates; finished points
+	// still print.
+	if runErr != nil {
+		log.Print(runErr)
 	}
 	for _, p := range series {
 		fmt.Printf("  %2d tasks: %6.1f fps, %d misses\n",
 			p.Tasks, p.Summary.TotalFPS, p.Summary.Missed)
+	}
+	if runErr != nil {
+		os.Exit(1)
 	}
 }
 

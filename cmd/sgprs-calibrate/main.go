@@ -7,18 +7,25 @@
 // This is the methodology artifact behind DESIGN.md §2: absolute numbers in
 // this repository are calibrated, and this tool shows exactly how.
 //
+// The calibration grid (gain cap × task count) is embarrassingly parallel
+// and fans out across a worker pool (-jobs, default all CPUs) as one flat
+// job list; a failed grid point is reported with its coordinates and only
+// its own cap row is dropped.
+//
 // Usage:
 //
-//	sgprs-calibrate [-target-fps 741] [-target-pivot 24] [-scenario 2]
+//	sgprs-calibrate [-target-fps 741] [-target-pivot 24] [-scenario 2] [-jobs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"sgprs/internal/gpu"
 	"sgprs/internal/metrics"
+	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
 )
@@ -30,6 +37,7 @@ func main() {
 	targetPivot := flag.Int("target-pivot", 24, "pivot point to calibrate toward")
 	scenario := flag.Int("scenario", 2, "paper scenario to calibrate on")
 	osLevel := flag.Float64("os", 1.5, "over-subscription level of the calibration variant")
+	jobs := flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
 	flag.Parse()
 
 	np, err := sim.ScenarioContexts(*scenario)
@@ -50,19 +58,32 @@ func main() {
 	}
 	best := point{score: 1e18}
 	counts := []int{*targetPivot - 2, *targetPivot - 1, *targetPivot, *targetPivot + 1, *targetPivot + 2, *targetPivot + 4}
+
+	// One flat grid: every (cap, count) pair is an independent run.
+	var caps []float64
+	var bases []sim.RunConfig
 	for cap := 20.0; cap <= 26.5; cap += 0.5 {
 		gcfg := gpu.DefaultConfig()
 		gcfg.AggregateGainCap = cap
-		series, err := sim.SweepSeries(sim.RunConfig{
+		caps = append(caps, cap)
+		bases = append(bases, sim.RunConfig{
 			Kind:       sim.KindSGPRS,
-			Name:       "calib",
+			Name:       fmt.Sprintf("cap=%.1f", cap),
 			ContextSMs: pool,
 			NumTasks:   1,
 			HorizonSec: 4,
 			GPU:        gcfg,
-		}, counts)
-		if err != nil {
-			log.Fatal(err)
+		})
+	}
+	grid, order, gridErr := runner.SweepGrid(bases, counts, runner.Options{Jobs: *jobs})
+	if gridErr != nil {
+		log.Print(gridErr)
+	}
+	for i, cap := range caps {
+		series := grid[order[i]]
+		if len(series) != len(counts) { // some points failed
+			fmt.Printf("%8.1f %10s %8s %8s\n", cap, "-", "-", "-")
+			continue
 		}
 		fps := metrics.SaturationFPS(series)
 		pivot := metrics.PivotPoint(series)
@@ -75,12 +96,21 @@ func main() {
 		}
 	}
 
+	if best.score == 1e18 {
+		log.Print("no cap row completed; cannot recommend a calibration")
+		os.Exit(1)
+	}
 	fmt.Printf("\nbest cap: %.1f (sat %.1f fps, pivot %d)\n", best.cap, best.fps, best.pivot)
 	fmt.Printf("shipping default: %.1f (reference latency %.2f ms)\n",
 		gpu.DefaultConfig().AggregateGainCap, sim.ReferenceLatencyMS)
 	fmt.Println("\nNote: the reference latency pins absolute time (dnn.Calibrate); the cap")
 	fmt.Println("pins aggregate throughput. Together they fix saturation FPS ≈ 1000·G/W,")
 	fmt.Println("with W the calibrated per-inference single-SM work (~32.6 ssm·ms).")
+	// Failed grid points excluded caps from the search: the recommendation
+	// above is incomplete, so the exit status must say so.
+	if gridErr != nil {
+		os.Exit(1)
+	}
 }
 
 func abs(x float64) float64 {

@@ -3,9 +3,15 @@
 // over-subscription levels 1.0/1.5/2.0, in Scenario 1 (two contexts) or
 // Scenario 2 (three contexts).
 //
+// Runs fan out across a worker pool (-jobs, default all CPUs); results are
+// bit-identical to a sequential run for any worker count. A failing point
+// is reported with its (variant, task count) on stderr and the sweep keeps
+// going: every finished point is still printed, and the exit status is
+// non-zero.
+//
 // Usage:
 //
-//	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-csv]
+//	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
 //	sgprs-sweep -config experiment.json
 package main
 
@@ -18,8 +24,8 @@ import (
 	"strings"
 
 	"sgprs/internal/config"
-	"sgprs/internal/metrics"
 	"sgprs/internal/report"
+	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 )
 
@@ -30,33 +36,46 @@ func main() {
 	tasks := flag.String("tasks", "1..30", "task counts: \"a..b\" range or comma-separated list")
 	horizon := flag.Float64("horizon", 10, "simulated seconds per point")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jobs := flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
+	progress := flag.Bool("progress", false, "report per-point completion on stderr")
 	csvOut := flag.Bool("csv", false, "emit long-form CSV instead of tables")
 	cfgPath := flag.String("config", "", "experiment JSON (overrides other flags)")
 	flag.Parse()
 
-	var scen *report.Scenario
-	if *cfgPath != "" {
-		s, err := runFromConfig(*cfgPath)
-		if err != nil {
-			log.Fatal(err)
+	opt := runner.Options{Jobs: *jobs}
+	if *progress {
+		opt.Progress = func(done, total int, r runner.JobResult) {
+			log.Printf("[%d/%d] %s n=%d", done, total, r.Job.Variant, r.Job.Tasks)
 		}
-		scen = s
+	}
+
+	var scen *report.Scenario
+	var runErr error
+	if *cfgPath != "" {
+		scen, runErr = runFromConfig(*cfgPath, opt)
 	} else {
 		counts, err := parseCounts(*tasks)
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := sim.RunScenario(*scenario, counts, *horizon, *seed)
-		if err != nil {
-			log.Fatal(err)
+		var run *sim.ScenarioRun
+		run, runErr = runner.RunScenario(*scenario, counts, *horizon, *seed, opt)
+		if run != nil {
+			np, _ := sim.ScenarioContexts(*scenario)
+			scen = &report.Scenario{
+				Title:      fmt.Sprintf("Scenario %d (%d contexts) — Figures %da/%db analogue", *scenario, np, *scenario+2, *scenario+2),
+				TaskCounts: run.TaskCounts,
+				Series:     run.Series,
+				Order:      run.Order,
+			}
 		}
-		np, _ := sim.ScenarioContexts(*scenario)
-		scen = &report.Scenario{
-			Title:      fmt.Sprintf("Scenario %d (%d contexts) — Figures %da/%db analogue", *scenario, np, *scenario+2, *scenario+2),
-			TaskCounts: run.TaskCounts,
-			Series:     run.Series,
-			Order:      run.Order,
-		}
+	}
+	// Per-job failures are surfaced but never discard finished points.
+	if runErr != nil {
+		log.Print(runErr)
+	}
+	if scen == nil {
+		os.Exit(1)
 	}
 
 	var err error
@@ -68,9 +87,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if runErr != nil {
+		os.Exit(1)
+	}
 }
 
-func runFromConfig(path string) (*report.Scenario, error) {
+func runFromConfig(path string, opt runner.Options) (*report.Scenario, error) {
 	exp, err := config.Load(path)
 	if err != nil {
 		return nil, err
@@ -79,20 +101,13 @@ func runFromConfig(path string) (*report.Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	scen := &report.Scenario{
+	series, order, runErr := runner.SweepGrid(bases, exp.TaskCounts, opt)
+	return &report.Scenario{
 		Title:      fmt.Sprintf("Experiment %s", path),
 		TaskCounts: exp.TaskCounts,
-		Series:     map[string][]metrics.Point{},
-	}
-	for _, base := range bases {
-		series, err := sim.SweepSeries(base, exp.TaskCounts)
-		if err != nil {
-			return nil, err
-		}
-		scen.Series[base.Name] = series
-		scen.Order = append(scen.Order, base.Name)
-	}
-	return scen, nil
+		Series:     series,
+		Order:      order,
+	}, runErr
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -1,0 +1,3 @@
+module sgprs
+
+go 1.24

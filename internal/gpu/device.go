@@ -101,7 +101,13 @@ type Device struct {
 	rng      *des.RNG
 	contexts []*Context
 
-	running    map[*Kernel]struct{}
+	// running holds the executing kernels in admission order. It is a
+	// slice, not a set, so every accumulation over it (work banked,
+	// weight sums, gain sums) visits kernels in a deterministic order:
+	// floating-point results are then bit-identical across processes,
+	// threads, and map-layout changes — a property the parallel
+	// experiment runner relies on (DESIGN.md §6).
+	running    []*Kernel
 	lastUpdate des.Time
 	observer   Observer
 
@@ -120,11 +126,10 @@ func NewDevice(eng *des.Engine, model *speedup.Model, cfg Config) (*Device, erro
 		return nil, fmt.Errorf("gpu: nil engine or model")
 	}
 	return &Device{
-		eng:     eng,
-		model:   model,
-		cfg:     cfg,
-		rng:     des.NewRNG(cfg.Seed).Fork(0xDE71CE),
-		running: map[*Kernel]struct{}{},
+		eng:   eng,
+		model: model,
+		cfg:   cfg,
+		rng:   des.NewRNG(cfg.Seed).Fork(0xDE71CE),
 	}, nil
 }
 

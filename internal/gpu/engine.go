@@ -31,7 +31,7 @@ func (d *Device) start(k *Kernel, now des.Time) {
 	k.startedAt = now
 	k.jitterU = d.rng.Float64()
 	k.stream.ctx.activeKernels++
-	d.running[k] = struct{}{}
+	d.running = append(d.running, k)
 	if d.observer != nil {
 		d.observer.KernelStarted(k, now)
 	}
@@ -49,7 +49,7 @@ func (d *Device) advance(now des.Time) {
 	if dtMS <= 0 {
 		return
 	}
-	for k := range d.running {
+	for _, k := range d.running {
 		remaining := dtMS
 		if k.remainingFixed > 0 {
 			df := remaining
@@ -83,7 +83,7 @@ func (d *Device) recompute(now des.Time) {
 			demand += ctx.sms
 		}
 	}
-	for k := range d.running {
+	for _, k := range d.running {
 		weightSum[k.stream.ctx.id] += k.stream.priority.weight()
 	}
 	ratio := float64(demand) / float64(d.cfg.TotalSMs)
@@ -100,7 +100,7 @@ func (d *Device) recompute(now des.Time) {
 
 	// First pass: raw gains from intra-context weighted splits.
 	var gainSum float64
-	for k := range d.running {
+	for _, k := range d.running {
 		ctx := k.stream.ctx
 		share := alloc[ctx.id] * k.stream.priority.weight() / weightSum[ctx.id]
 		k.effSMs = share
@@ -128,7 +128,7 @@ func (d *Device) recompute(now des.Time) {
 		}
 		if gainSum > cap {
 			f := cap / gainSum
-			for k := range d.running {
+			for _, k := range d.running {
 				k.rate *= f
 			}
 		}
@@ -139,13 +139,13 @@ func (d *Device) recompute(now des.Time) {
 	// predictability" under heavy over-subscription.
 	if ratio > 1 {
 		over := ratio - 1
-		for k := range d.running {
+		for _, k := range d.running {
 			k.rate /= 1 + d.cfg.ContentionJitter*over*k.jitterU
 		}
 	}
 
 	// Reschedule completions.
-	for k := range d.running {
+	for _, k := range d.running {
 		var msLeft float64
 		switch {
 		case k.remainingWork > workEpsilon:
@@ -226,7 +226,12 @@ func (d *Device) complete(k *Kernel, now des.Time) {
 		panic(fmt.Sprintf("gpu: kernel %q completed with %.3g ms work and %.3g ms fixed left",
 			k.Label, k.remainingWork, k.remainingFixed))
 	}
-	delete(d.running, k)
+	for i, r := range d.running {
+		if r == k {
+			d.running = append(d.running[:i], d.running[i+1:]...)
+			break
+		}
+	}
 	k.started = false
 	k.finishEv = nil
 	k.stream.ctx.activeKernels--

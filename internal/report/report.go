@@ -40,17 +40,19 @@ func (f *Figure1) AddRow(name string, gains []float64) {
 // WriteText renders the figure as an aligned table.
 func (f *Figure1) WriteText(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	// Tab-terminate every cell — a trailing cell without a tab escapes
+	// tabwriter's alignment and glues itself to the previous column.
 	fmt.Fprint(tw, "operation")
 	for _, n := range f.SMCounts {
 		fmt.Fprintf(tw, "\t%dsm", n)
 	}
-	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "\t\n")
 	for _, name := range f.Order {
 		fmt.Fprint(tw, name)
 		for _, g := range f.Rows[name] {
 			fmt.Fprintf(tw, "\t%.2fx", g)
 		}
-		fmt.Fprintln(tw)
+		fmt.Fprint(tw, "\t\n")
 	}
 	return tw.Flush()
 }
@@ -95,21 +97,35 @@ func (s *Scenario) WriteText(w io.Writer) error {
 	for _, metric := range []string{"total FPS", "DMR"} {
 		fmt.Fprintf(w, "\n%s:\n", metric)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		// Every cell is tab-terminated (including the last): a cell
+		// without a trailing tab is outside tabwriter's alignment and
+		// glues itself to the previous column.
 		fmt.Fprint(tw, "tasks")
 		for _, n := range s.TaskCounts {
 			fmt.Fprintf(tw, "\t%d", n)
 		}
-		fmt.Fprintln(tw)
+		fmt.Fprint(tw, "\t\n")
 		for _, name := range s.Order {
 			fmt.Fprint(tw, name)
+			// Align each point under its own task-count column: a
+			// series may have gaps when individual sweep points
+			// failed (the runner keeps finished siblings).
+			byTasks := make(map[int]metrics.Point, len(s.Series[name]))
 			for _, p := range s.Series[name] {
-				if metric == "total FPS" {
+				byTasks[p.Tasks] = p
+			}
+			for _, n := range s.TaskCounts {
+				p, ok := byTasks[n]
+				switch {
+				case !ok:
+					fmt.Fprint(tw, "\t-")
+				case metric == "total FPS":
 					fmt.Fprintf(tw, "\t%.0f", p.Summary.TotalFPS)
-				} else {
+				default:
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.DMR)
 				}
 			}
-			fmt.Fprintln(tw)
+			fmt.Fprint(tw, "\t\n")
 		}
 		if err := tw.Flush(); err != nil {
 			return err
@@ -117,11 +133,17 @@ func (s *Scenario) WriteText(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "\npivot points (largest task count with zero misses):")
 	for _, name := range s.Order {
-		fmt.Fprintf(w, "  %-12s %d tasks (saturation %.0f fps, final %.0f fps)\n",
+		fmt.Fprintf(w, "  %-12s %d tasks (saturation %.0f fps, final %.0f fps)",
 			name,
 			metrics.PivotPoint(s.Series[name]),
 			metrics.SaturationFPS(s.Series[name]),
 			metrics.FinalFPS(s.Series[name]))
+		// Derived numbers over a gapped series (failed sweep points)
+		// would otherwise read as trustworthy.
+		if missing := len(s.TaskCounts) - len(s.Series[name]); missing > 0 {
+			fmt.Fprintf(w, " [incomplete: %d/%d points]", len(s.Series[name]), len(s.TaskCounts))
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

@@ -108,6 +108,52 @@ func TestScenarioText(t *testing.T) {
 	}
 }
 
+// TestScenarioTextGaps: a series missing some sweep points (failed runs
+// kept out by the parallel runner) renders each surviving point under its
+// own task-count column with "-" placeholders, instead of shifting values
+// left into the wrong columns.
+func TestScenarioTextGaps(t *testing.T) {
+	s := &Scenario{
+		Title:      "gaps",
+		TaskCounts: []int{10, 20, 30},
+		Series: map[string][]metrics.Point{
+			"partial": {
+				{Tasks: 10, Summary: metrics.Summary{TotalFPS: 100}},
+				{Tasks: 30, Summary: metrics.Summary{TotalFPS: 300}},
+			},
+		},
+		Order: []string{"partial"},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var fpsRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "partial") && strings.Contains(line, "100") {
+			fpsRow = line
+			break
+		}
+	}
+	if fpsRow == "" {
+		t.Fatalf("no FPS row in:\n%s", out)
+	}
+	fields := strings.Fields(fpsRow)
+	want := []string{"partial", "100", "-", "300"}
+	if len(fields) != len(want) {
+		t.Fatalf("row fields = %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("field %d = %q, want %q (row %q)", i, fields[i], want[i], fpsRow)
+		}
+	}
+	if !strings.Contains(out, "[incomplete: 2/3 points]") {
+		t.Errorf("pivot summary lacks incompleteness marker:\n%s", out)
+	}
+}
+
 func TestScenarioCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := mkScenario().WriteCSV(&buf); err != nil {

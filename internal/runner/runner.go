@@ -1,0 +1,214 @@
+// Package runner is the parallel experiment driver: it fans independent
+// simulation runs out across a bounded worker pool and aggregates ordered
+// results with per-job error attribution.
+//
+// Every figure-regenerating sweep in this repository is a grid of mutually
+// independent sim.Run calls (variant × task count), so the fan-out is
+// embarrassingly parallel. Determinism is preserved by construction: each
+// job's seed is a pure function of its identity (base seed, variant, task
+// count) fixed at expansion time, never of worker scheduling, so results
+// are bit-identical across worker counts — runner output with any Jobs
+// setting equals the sequential drivers in package sim, which remain the
+// reference implementation (see DESIGN.md §5-§6).
+//
+// A failed job never cancels or discards its siblings: Run always returns
+// one JobResult per Job, and Err collects the failures — with their sweep
+// coordinates — into a single Errors value.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sgprs/internal/sim"
+)
+
+// Job is one unit of work: a fully specified simulation run plus the sweep
+// coordinates it is attributed to in results and errors.
+type Job struct {
+	// Variant names the series the job belongs to (e.g. "sgprs-1.5x").
+	Variant string
+	// Tasks is the job's sweep coordinate (task count).
+	Tasks int
+	// Config is the run to execute. Jobs must not share a mutable
+	// Observer: observers attached here are invoked concurrently from
+	// pool workers.
+	Config sim.RunConfig
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Result/Err is
+// meaningful: Err non-nil means the run failed.
+type JobResult struct {
+	Job Job
+	// Index is the job's position in the submitted slice; Run returns
+	// results sorted by it regardless of completion order.
+	Index  int
+	Result sim.Result
+	Err    error
+}
+
+// JobError attributes one failed run to its sweep coordinates.
+type JobError struct {
+	Variant string
+	Tasks   int
+	Err     error
+}
+
+// Error formats the failure with its coordinates.
+func (e JobError) Error() string {
+	return fmt.Sprintf("%s n=%d: %v", e.Variant, e.Tasks, e.Err)
+}
+
+// Unwrap exposes the underlying run error.
+func (e JobError) Unwrap() error { return e.Err }
+
+// Errors aggregates every failed job of a fan-out. It is returned alongside
+// the completed results, never instead of them.
+type Errors []JobError
+
+// Error lists every failure, one per line.
+func (es Errors) Error() string {
+	if len(es) == 1 {
+		return "runner: 1 job failed: " + es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d jobs failed:", len(es))
+	for _, e := range es {
+		b.WriteString("\n  ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Progress observes job completions. Calls are serialized by the pool;
+// done is the number of completed jobs so far (monotonic, ends at total).
+// Completion order is scheduling-dependent — use r.Index for identity.
+type Progress func(done, total int, r JobResult)
+
+// Options configures a fan-out.
+type Options struct {
+	// Jobs is the worker count. Zero or negative means one worker per
+	// available CPU (runtime.GOMAXPROCS(0)). The worker count never
+	// affects results, only wall-clock time.
+	Jobs int
+	// Progress, when non-nil, is invoked after every job completes.
+	Progress Progress
+	// DecorrelateSeeds gives every expanded job a distinct seed derived
+	// from (base seed, variant, task count) via DeriveSeed. The default
+	// (false) keeps the base seed on every job, matching the sequential
+	// drivers in package sim bit-for-bit. Only affects the expansion
+	// helpers (SweepSeries, RunScenario, ...), not explicit Job lists.
+	DecorrelateSeeds bool
+}
+
+func (o Options) workers(jobs int) int {
+	w := o.Jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every job on the worker pool and returns results in job
+// order. It never returns early: a failing job records its error and the
+// pool keeps draining, so completed siblings are always present. Collect
+// failures with Err.
+func Run(jobs []Job, opt Options) []JobResult {
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	var (
+		next int64 = -1
+		done int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	total := len(jobs)
+	for w := opt.workers(total); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= total {
+					return
+				}
+				r := JobResult{Job: jobs[i], Index: i}
+				res, err := sim.Run(jobs[i].Config)
+				if err != nil {
+					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: err}
+				} else {
+					r.Result = res
+				}
+				results[i] = r
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, total, r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Err collects the failures of a result set into an Errors value, or nil
+// if every job succeeded.
+func Err(results []JobResult) error {
+	var es Errors
+	for _, r := range results {
+		if r.Err != nil {
+			var je JobError
+			if e, ok := r.Err.(JobError); ok {
+				je = e
+			} else {
+				je = JobError{Variant: r.Job.Variant, Tasks: r.Job.Tasks, Err: r.Err}
+			}
+			es = append(es, je)
+		}
+	}
+	if len(es) == 0 {
+		return nil
+	}
+	return es
+}
+
+// DeriveSeed mixes a per-job seed from the base seed and the job's sweep
+// coordinates. It is a pure function — the same (base, variant, tasks)
+// always yields the same seed, independent of scheduling — so decorrelated
+// sweeps stay exactly reproducible. FNV-1a absorbs the coordinates and a
+// splitmix64 finalizer scrambles the result.
+func DeriveSeed(base uint64, variant string, tasks int) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(b byte) { h ^= uint64(b); h *= fnvPrime }
+	for i := 0; i < 8; i++ {
+		mix(byte(base >> (8 * i)))
+	}
+	for i := 0; i < len(variant); i++ {
+		mix(variant[i])
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(tasks) >> (8 * i)))
+	}
+	// splitmix64 finalizer.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

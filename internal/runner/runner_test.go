@@ -1,0 +1,252 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sgprs/internal/sim"
+)
+
+// testCounts and testHorizon keep the determinism sweeps fast: the light
+// half of the ramp at a 2-second horizon still exercises every variant.
+var testCounts = []int{2, 4}
+
+const testHorizon = 2
+
+func testBase(name string) sim.RunConfig {
+	return sim.RunConfig{
+		Kind:       sim.KindSGPRS,
+		Name:       name,
+		ContextSMs: sim.ContextPool(2, 1.5, 68),
+		NumTasks:   1,
+		HorizonSec: testHorizon,
+		Seed:       1,
+	}
+}
+
+// TestScenarioMatchesSequential proves the tentpole determinism claim: for
+// both paper scenarios, parallel RunScenario output is bit-identical to the
+// sequential reference driver in package sim, regardless of worker count.
+func TestScenarioMatchesSequential(t *testing.T) {
+	for _, scenario := range []int{1, 2} {
+		seq, err := sim.RunScenario(scenario, testCounts, testHorizon, 1)
+		if err != nil {
+			t.Fatalf("scenario %d sequential: %v", scenario, err)
+		}
+		for _, jobs := range []int{0, 1, 3, 8} {
+			par, err := RunScenario(scenario, testCounts, testHorizon, 1, Options{Jobs: jobs})
+			if err != nil {
+				t.Fatalf("scenario %d jobs=%d: %v", scenario, jobs, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("scenario %d jobs=%d: parallel output differs from sequential", scenario, jobs)
+			}
+		}
+	}
+}
+
+// TestSweepSeriesMatchesSequential pins the single-series driver to the
+// sequential reference as well.
+func TestSweepSeriesMatchesSequential(t *testing.T) {
+	base := testBase("sgprs")
+	seq, err := sim.SweepSeries(base, testCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepSeries(base, testCounts, Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel series differs from sequential")
+	}
+}
+
+// TestWorkerCountInvariance: one worker and many workers yield identical
+// full results (not just summaries).
+func TestWorkerCountInvariance(t *testing.T) {
+	jobs := SweepJobs(testBase("sgprs"), []int{1, 2, 3, 4}, Options{})
+	one := Run(jobs, Options{Jobs: 1})
+	many := Run(jobs, Options{Jobs: 8})
+	if !reflect.DeepEqual(one, many) {
+		t.Error("results differ between 1 and 8 workers")
+	}
+}
+
+// TestFailureAttribution: a failing job reports its (variant, task count)
+// without cancelling or discarding completed siblings.
+func TestFailureAttribution(t *testing.T) {
+	good := testBase("good")
+	bad := testBase("broken")
+	bad.ContextSMs = nil // fails Normalize
+	jobs := []Job{
+		{Variant: "good", Tasks: 2, Config: withTasks(good, 2)},
+		{Variant: "broken", Tasks: 3, Config: withTasks(bad, 3)},
+		{Variant: "good", Tasks: 4, Config: withTasks(good, 4)},
+	}
+	results := Run(jobs, Options{Jobs: 2})
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy siblings failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[0].Result.Summary.TotalFPS <= 0 || results[2].Result.Summary.TotalFPS <= 0 {
+		t.Error("completed siblings lost their results")
+	}
+	if results[1].Err == nil {
+		t.Fatal("broken job reported no error")
+	}
+	var je JobError
+	if !errors.As(results[1].Err, &je) {
+		t.Fatalf("error %T does not unwrap to JobError", results[1].Err)
+	}
+	if je.Variant != "broken" || je.Tasks != 3 {
+		t.Errorf("attribution = (%q, %d), want (broken, 3)", je.Variant, je.Tasks)
+	}
+
+	err := Err(results)
+	if err == nil {
+		t.Fatal("Err(results) = nil with one failure")
+	}
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 {
+		t.Fatalf("Err(results) = %v, want one-element Errors", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "broken") || !strings.Contains(msg, "n=3") {
+		t.Errorf("error message %q lacks coordinates", msg)
+	}
+}
+
+// TestSweepSeriesKeepsFinishedPoints: the parallel sweep returns completed
+// points alongside the error instead of discarding them.
+func TestSweepSeriesKeepsFinishedPoints(t *testing.T) {
+	base := testBase("sgprs")
+	counts := []int{2, 0, 4} // 0 tasks fails Normalize
+	series, err := SweepSeries(base, counts, Options{Jobs: 2})
+	if err == nil {
+		t.Fatal("want error for n=0 point")
+	}
+	if len(series) != 2 || series[0].Tasks != 2 || series[1].Tasks != 4 {
+		t.Fatalf("series = %+v, want completed points n=2 and n=4", series)
+	}
+}
+
+// TestProgress: the callback is serialized, called once per job, with a
+// monotonic done count ending at total.
+func TestProgress(t *testing.T) {
+	jobs := SweepJobs(testBase("sgprs"), []int{1, 2, 3}, Options{})
+	var calls int
+	last := 0
+	seen := map[int]bool{}
+	_ = Run(jobs, Options{Jobs: 3, Progress: func(done, total int, r JobResult) {
+		calls++
+		if total != 3 {
+			t.Errorf("total = %d, want 3", total)
+		}
+		if done != last+1 {
+			t.Errorf("done jumped from %d to %d", last, done)
+		}
+		last = done
+		seen[r.Index] = true
+	}})
+	if calls != 3 || len(seen) != 3 {
+		t.Errorf("calls = %d, distinct indices = %d, want 3/3", calls, len(seen))
+	}
+}
+
+// TestDeriveSeed: pure, stable, and sensitive to every coordinate.
+func TestDeriveSeed(t *testing.T) {
+	s := DeriveSeed(1, "sgprs-1.5x", 8)
+	if s != DeriveSeed(1, "sgprs-1.5x", 8) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	for _, other := range []uint64{
+		DeriveSeed(2, "sgprs-1.5x", 8),
+		DeriveSeed(1, "sgprs-2.0x", 8),
+		DeriveSeed(1, "sgprs-1.5x", 9),
+	} {
+		if other == s {
+			t.Error("DeriveSeed collides across adjacent coordinates")
+		}
+	}
+}
+
+// TestDecorrelateSeeds: expansion stamps DeriveSeed per job; the default
+// keeps the base seed (the sequential contract).
+func TestDecorrelateSeeds(t *testing.T) {
+	base := testBase("sgprs")
+	plain := SweepJobs(base, testCounts, Options{})
+	for _, j := range plain {
+		if j.Config.Seed != base.Seed {
+			t.Errorf("default expansion changed seed: %d", j.Config.Seed)
+		}
+	}
+	dec := SweepJobs(base, testCounts, Options{DecorrelateSeeds: true})
+	for i, j := range dec {
+		want := DeriveSeed(base.Seed, "sgprs", testCounts[i])
+		if j.Config.Seed != want {
+			t.Errorf("decorrelated seed[%d] = %d, want %d", i, j.Config.Seed, want)
+		}
+	}
+	if dec[0].Config.Seed == dec[1].Config.Seed {
+		t.Error("decorrelated seeds collide across task counts")
+	}
+}
+
+// TestSweepGrid: a flat multi-variant fan-out groups results back into
+// per-variant series in submission order.
+func TestSweepGrid(t *testing.T) {
+	bases := []sim.RunConfig{testBase("a"), testBase("b")}
+	series, order, err := SweepGrid(bases, testCounts, Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b"}) {
+		t.Errorf("order = %v", order)
+	}
+	for _, name := range order {
+		if len(series[name]) != len(testCounts) {
+			t.Errorf("series %q has %d points, want %d", name, len(series[name]), len(testCounts))
+		}
+	}
+	if !reflect.DeepEqual(series["a"], series["b"]) {
+		t.Error("identical bases produced different series")
+	}
+}
+
+// TestSweepGridEmptyCounts: an empty sweep axis yields empty series per
+// variant, not a panic (regression: order was only populated per non-empty
+// job block while the fold indexed it per base).
+func TestSweepGridEmptyCounts(t *testing.T) {
+	bases := []sim.RunConfig{testBase("a"), {Kind: sim.KindNaive}}
+	series, order, err := SweepGrid(bases, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "naive"}) {
+		t.Errorf("order = %v", order)
+	}
+	for _, name := range order {
+		if got, ok := series[name]; !ok || len(got) != 0 {
+			t.Errorf("series[%q] = %v, want present and empty", name, got)
+		}
+	}
+}
+
+// TestRunEmpty: a zero-job fan-out returns cleanly.
+func TestRunEmpty(t *testing.T) {
+	if got := Run(nil, Options{}); len(got) != 0 {
+		t.Errorf("Run(nil) = %v", got)
+	}
+	if err := Err(nil); err != nil {
+		t.Errorf("Err(nil) = %v", err)
+	}
+}
+
+func withTasks(cfg sim.RunConfig, n int) sim.RunConfig {
+	cfg.NumTasks = n
+	return cfg
+}

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"sgprs/internal/metrics"
+	"sgprs/internal/sim"
+	"sgprs/internal/speedup"
+)
+
+// variantName labels a base configuration the way Normalize would.
+func variantName(base sim.RunConfig) string {
+	if base.Name != "" {
+		return base.Name
+	}
+	return base.Kind.String()
+}
+
+// SweepJobs expands one base configuration over the task counts into a job
+// list, fixing every job's seed at expansion time (see Options.DecorrelateSeeds).
+func SweepJobs(base sim.RunConfig, taskCounts []int, opt Options) []Job {
+	jobs := make([]Job, 0, len(taskCounts))
+	name := variantName(base)
+	for _, n := range taskCounts {
+		cfg := base
+		cfg.NumTasks = n
+		if opt.DecorrelateSeeds {
+			cfg.Seed = DeriveSeed(base.Seed, name, n)
+		}
+		jobs = append(jobs, Job{Variant: name, Tasks: n, Config: cfg})
+	}
+	return jobs
+}
+
+// seriesOf folds one variant's ordered results into a figure series,
+// keeping every completed point even when siblings failed.
+func seriesOf(results []JobResult) []metrics.Point {
+	series := make([]metrics.Point, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		series = append(series, metrics.Point{Tasks: r.Job.Tasks, Summary: r.Result.Summary})
+	}
+	return series
+}
+
+// SweepSeries is the parallel equivalent of sim.SweepSeries: one variant
+// swept across the task counts. With default Options the returned series is
+// bit-identical to the sequential driver. Unlike the sequential driver it
+// never discards finished points: on failure it returns every completed
+// point alongside an Errors value attributing each failed (variant, n).
+func SweepSeries(base sim.RunConfig, taskCounts []int, opt Options) ([]metrics.Point, error) {
+	results := Run(SweepJobs(base, taskCounts, opt), opt)
+	return seriesOf(results), Err(results)
+}
+
+// SweepGrid sweeps several base configurations over the same task counts as
+// one flat fan-out (better worker utilisation than series-at-a-time). It
+// returns the per-variant series keyed by name plus the submission order,
+// with completed points preserved across any failures.
+func SweepGrid(bases []sim.RunConfig, taskCounts []int, opt Options) (map[string][]metrics.Point, []string, error) {
+	var jobs []Job
+	var order []string
+	offsets := make([]int, 0, len(bases)) // start index of each base's block
+	for _, base := range bases {
+		offsets = append(offsets, len(jobs))
+		jobs = append(jobs, SweepJobs(base, taskCounts, opt)...)
+		order = append(order, variantName(base))
+	}
+	results := Run(jobs, opt)
+	series := make(map[string][]metrics.Point, len(bases))
+	for i, start := range offsets {
+		end := len(results)
+		if i+1 < len(offsets) {
+			end = offsets[i+1]
+		}
+		series[order[i]] = seriesOf(results[start:end])
+	}
+	return series, order, Err(results)
+}
+
+// ScenarioJobs expands one paper scenario (naive baseline plus SGPRS at
+// over-subscription 1.0/1.5/2.0, each over the task counts) into a flat
+// job list.
+func ScenarioJobs(scenario int, taskCounts []int, horizonSec float64, seed uint64, opt Options) ([]Job, error) {
+	np, err := sim.ScenarioContexts(scenario)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	for _, v := range sim.ScenarioVariants() {
+		base := sim.RunConfig{
+			Kind:       v.Kind,
+			Name:       v.Name,
+			ContextSMs: sim.ContextPool(np, v.OS, speedup.DeviceSMs),
+			HorizonSec: horizonSec,
+			Seed:       seed,
+			NumTasks:   1, // overwritten by the sweep
+		}
+		jobs = append(jobs, SweepJobs(base, taskCounts, opt)...)
+	}
+	return jobs, nil
+}
+
+// RunScenario regenerates one paper scenario (Figures 3 or 4) on the worker
+// pool. With default Options the result is bit-identical to the sequential
+// sim.RunScenario for any worker count. On job failures it returns the
+// partial scenario (completed points only) together with an Errors value.
+func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64, opt Options) (*sim.ScenarioRun, error) {
+	jobs, err := ScenarioJobs(scenario, taskCounts, horizonSec, seed, opt)
+	if err != nil {
+		return nil, err
+	}
+	results := Run(jobs, opt)
+	out := &sim.ScenarioRun{
+		Scenario:   scenario,
+		TaskCounts: taskCounts,
+		Series:     map[string][]metrics.Point{},
+	}
+	per := len(taskCounts)
+	for i, v := range sim.ScenarioVariants() {
+		out.Series[v.Name] = seriesOf(results[i*per : (i+1)*per])
+		out.Order = append(out.Order, v.Name)
+	}
+	return out, Err(results)
+}

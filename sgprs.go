@@ -19,8 +19,12 @@
 //
 // This package is a facade: it re-exports the pieces a downstream user needs
 // to run experiments. The implementation lives under internal/; DESIGN.md
-// documents the architecture and the hardware-substitution decisions, and
-// EXPERIMENTS.md records reproduced-versus-paper numbers.
+// documents the architecture, the hardware-substitution decisions, and the
+// calibration of absolute numbers against the paper.
+//
+// Sweeps and scenario regenerations fan their independent runs out across a
+// deterministic worker pool (internal/runner): results are bit-identical to
+// a sequential execution for any worker count. See SweepOptions.
 //
 // Quick start:
 //
@@ -34,6 +38,7 @@ package sgprs
 
 import (
 	"sgprs/internal/metrics"
+	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 )
 
@@ -59,19 +64,75 @@ const (
 	KindNaive = sim.KindNaive
 )
 
+// SweepOptions configures the parallel experiment runner: worker count
+// (default one per CPU), progress callbacks, and per-job seed decorrelation.
+// The zero value is ready to use. Worker count never affects results.
+type SweepOptions = runner.Options
+
+// SweepJob is one unit of runner work: a run plus its sweep coordinates.
+type SweepJob = runner.Job
+
+// SweepJobResult pairs a job with its outcome (result or attributed error).
+type SweepJobResult = runner.JobResult
+
+// JobError attributes one failed run to its (variant, task count).
+type JobError = runner.JobError
+
+// JobErrors aggregates every failed job of a sweep. Sweeps return it
+// alongside the completed points, never instead of them.
+type JobErrors = runner.Errors
+
+// SweepProgress observes job completions during a sweep.
+type SweepProgress = runner.Progress
+
 // Run executes one simulation and returns its metrics.
 func Run(cfg RunConfig) (Result, error) { return sim.Run(cfg) }
 
+// RunJobs executes an explicit job list on the worker pool, returning
+// ordered results with per-job error attribution.
+func RunJobs(jobs []SweepJob, opt SweepOptions) []SweepJobResult {
+	return runner.Run(jobs, opt)
+}
+
+// JobsErr collects the failures of a RunJobs result set, or nil.
+func JobsErr(results []SweepJobResult) error { return runner.Err(results) }
+
+// DeriveSeed deterministically mixes a per-job seed from the base seed and
+// a job's sweep coordinates.
+func DeriveSeed(base uint64, variant string, tasks int) uint64 {
+	return runner.DeriveSeed(base, variant, tasks)
+}
+
 // SweepSeries sweeps one configuration across task counts — one figure
-// series.
+// series — fanning the runs out across all CPUs. On failure the completed
+// points are returned alongside a JobErrors value.
 func SweepSeries(base RunConfig, taskCounts []int) ([]Point, error) {
-	return sim.SweepSeries(base, taskCounts)
+	return runner.SweepSeries(base, taskCounts, SweepOptions{})
+}
+
+// SweepSeriesWith is SweepSeries with explicit runner options.
+func SweepSeriesWith(base RunConfig, taskCounts []int, opt SweepOptions) ([]Point, error) {
+	return runner.SweepSeries(base, taskCounts, opt)
+}
+
+// SweepGrid sweeps several configurations over the same task counts as one
+// flat fan-out, returning per-variant series keyed by name plus the
+// submission order.
+func SweepGrid(bases []RunConfig, taskCounts []int, opt SweepOptions) (map[string][]Point, []string, error) {
+	return runner.SweepGrid(bases, taskCounts, opt)
 }
 
 // RunScenario regenerates a full paper scenario (1 or 2): the naive baseline
-// plus SGPRS at over-subscription 1.0/1.5/2.0 over the task counts.
+// plus SGPRS at over-subscription 1.0/1.5/2.0 over the task counts, in
+// parallel across all CPUs. Output is bit-identical to the sequential
+// reference driver (sim.RunScenario) for any worker count.
 func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*sim.ScenarioRun, error) {
-	return sim.RunScenario(scenario, taskCounts, horizonSec, seed)
+	return runner.RunScenario(scenario, taskCounts, horizonSec, seed, SweepOptions{})
+}
+
+// RunScenarioWith is RunScenario with explicit runner options.
+func RunScenarioWith(scenario int, taskCounts []int, horizonSec float64, seed uint64, opt SweepOptions) (*sim.ScenarioRun, error) {
+	return runner.RunScenario(scenario, taskCounts, horizonSec, seed, opt)
 }
 
 // ContextPool computes the per-context SM allocation for np contexts at
