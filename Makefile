@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint ci
+.PHONY: build test race bench bench-json lint ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 ## `go test -bench . -benchtime 5x .` for stable figure numbers.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench-json: rewrite BENCH_2.json (machine-readable ns/op, B/op,
+## allocs/op, and custom metrics per benchmark) from a 3-iteration run,
+## printing the delta against the committed numbers first. This is how the
+## perf trajectory stays trackable across PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_2.json -out BENCH_2.json
 
 lint:
 	$(GO) vet ./...

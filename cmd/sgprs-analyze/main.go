@@ -19,11 +19,11 @@ import (
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
 	"sgprs/internal/gpu"
+	"sgprs/internal/memo"
 	"sgprs/internal/profile"
 	"sgprs/internal/rt"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
-	"sgprs/internal/speedup"
 )
 
 func main() {
@@ -35,9 +35,13 @@ func main() {
 	contexts := flag.String("contexts", "34,34", "context pool (for the verification run)")
 	verify := flag.Bool("verify", false, "run a simulation sweep around the predicted pivot")
 	jobs := flag.Int("jobs", 0, "parallel workers for the verification sweep (0 = all CPUs)")
+	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization")
 	flag.Parse()
 
-	model := speedup.DefaultModel()
+	// sim.DefaultModel (not a fresh speedup.DefaultModel) so the direct
+	// profile below and the verification sweep share cache entries: the
+	// offline cache keys on model identity.
+	model := sim.DefaultModel()
 	dev := gpu.DefaultConfig()
 	g := sim.ReferenceGraph(model)
 	parts, err := dnn.Partition(g, *stages)
@@ -53,7 +57,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := profile.New(model, dev).ProfileTask(task, minOf(pool)); err != nil {
+	// The analytic profile shares the offline cache with the verification
+	// sweep below: the task shape is measured once for both.
+	prof := profile.New(model, dev)
+	if *noCache {
+		if err := prof.ProfileTask(task, minOf(pool)); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := memo.Default().ProfileTasks(prof, []*rt.Task{task}, minOf(pool)); err != nil {
 		log.Fatal(err)
 	}
 	load, err := analysis.FromTask(task)
@@ -88,7 +99,7 @@ func main() {
 		FPS:        *fps,
 		Stages:     *stages,
 		HorizonSec: 4,
-	}, counts, runner.Options{Jobs: *jobs})
+	}, counts, runner.Options{Jobs: *jobs, NoOfflineCache: *noCache})
 	// A failed point is reported with its coordinates; finished points
 	// still print.
 	if runErr != nil {

@@ -1,0 +1,187 @@
+// Command sgprs-benchjson converts `go test -bench` output (stdin) into
+// machine-readable JSON, so the repository's performance trajectory is
+// trackable across PRs (BENCH_2.json), and optionally compares the fresh
+// numbers against a committed baseline.
+//
+// The delta report is informational only: the command always exits 0 on
+// valid input, whatever the regression, so CI can surface drift in the log
+// without turning benchmark noise into a gate.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . | sgprs-benchjson -out BENCH_2.json -baseline BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem (-1 without).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values (unit → value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_2.json schema.
+type File struct {
+	Package    string      `json:"package,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgprs-benchjson: ")
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to diff against (report-only)")
+	flag.Parse()
+
+	// Read the baseline before writing, so -out and -baseline may be the
+	// same file.
+	var base *File
+	if *baseline != "" {
+		if b, err := os.ReadFile(*baseline); err == nil {
+			base = &File{}
+			if err := json.Unmarshal(b, base); err != nil {
+				log.Printf("baseline %s unreadable (%v); skipping delta", *baseline, err)
+				base = nil
+			}
+		} else {
+			log.Printf("no baseline at %s; skipping delta", *baseline)
+		}
+	}
+
+	file, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(file.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if base != nil {
+		report(base, file)
+	}
+}
+
+// parse consumes `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName-8   3   75296901 ns/op   11691829 B/op   285225 allocs/op   740.9 sat_fps
+//
+// where the -8 GOMAXPROCS suffix, the memory columns, and custom metric
+// columns are all optional.
+func parse(sc *bufio.Scanner) (*File, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	file := &File{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			file.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			file.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 3; i+2 < len(fields); i += 2 {
+			val, unit := fields[i+1], fields[i+2]
+			switch unit {
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					continue
+				}
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		file.Benchmarks = append(file.Benchmarks, b)
+	}
+	return file, sc.Err()
+}
+
+// report prints a benchstat-style delta table (report-only; never fails).
+func report(base, cur *File) {
+	old := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	byName := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "benchmark delta vs baseline (report-only; single-iteration smoke numbers are noisy):\n")
+	fmt.Fprintf(os.Stderr, "%-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		b := byName[name]
+		o, ok := old[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-64s %14s %14.0f %8s\n", name, "-", b.NsPerOp, "new")
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			pct := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+		}
+		fmt.Fprintf(os.Stderr, "%-64s %14.0f %14.0f %8s\n", name, o.NsPerOp, b.NsPerOp, delta)
+		if o.AllocsPerOp >= 0 && b.AllocsPerOp >= 0 && o.AllocsPerOp != b.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "%-64s %14d %14d allocs/op\n", "", o.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+}

@@ -38,6 +38,7 @@ func main() {
 	scenario := flag.Int("scenario", 2, "paper scenario to calibrate on")
 	osLevel := flag.Float64("os", 1.5, "over-subscription level of the calibration variant")
 	jobs := flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
+	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization")
 	flag.Parse()
 
 	np, err := sim.ScenarioContexts(*scenario)
@@ -75,7 +76,11 @@ func main() {
 			GPU:        gcfg,
 		})
 	}
-	grid, order, gridErr := runner.SweepGrid(bases, counts, runner.Options{Jobs: *jobs})
+	// The offline cache collapses the whole grid to one WCET profile: the
+	// gain cap under calibration cannot affect an isolated single-kernel
+	// measurement, so it is excluded from the profile key and every cap
+	// row shares the same profiled task shape.
+	grid, order, gridErr := runner.SweepGrid(bases, counts, runner.Options{Jobs: *jobs, NoOfflineCache: *noCache})
 	if gridErr != nil {
 		log.Print(gridErr)
 	}

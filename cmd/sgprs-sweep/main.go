@@ -9,9 +9,13 @@
 // going: every finished point is still printed, and the exit status is
 // non-zero.
 //
+// The offline phase (graph calibration, WCET profiling) is memoized across
+// the sweep's runs — bit-identical to re-profiling, just not redundant.
+// -no-offline-cache disables the cache; -offline-stats reports its traffic.
+//
 // Usage:
 //
-//	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
+//	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
 //	sgprs-sweep -config experiment.json
 package main
 
@@ -24,6 +28,7 @@ import (
 	"strings"
 
 	"sgprs/internal/config"
+	"sgprs/internal/memo"
 	"sgprs/internal/report"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
@@ -40,9 +45,11 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-point completion on stderr")
 	csvOut := flag.Bool("csv", false, "emit long-form CSV instead of tables")
 	cfgPath := flag.String("config", "", "experiment JSON (overrides other flags)")
+	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization (re-profile every run)")
+	cacheStats := flag.Bool("offline-stats", false, "report offline-cache hit/miss counts on stderr")
 	flag.Parse()
 
-	opt := runner.Options{Jobs: *jobs}
+	opt := runner.Options{Jobs: *jobs, NoOfflineCache: *noCache}
 	if *progress {
 		opt.Progress = func(done, total int, r runner.JobResult) {
 			log.Printf("[%d/%d] %s n=%d", done, total, r.Job.Variant, r.Job.Tasks)
@@ -73,6 +80,9 @@ func main() {
 	// Per-job failures are surfaced but never discard finished points.
 	if runErr != nil {
 		log.Print(runErr)
+	}
+	if *cacheStats {
+		log.Print(memo.Default().Stats())
 	}
 	if scen == nil {
 		os.Exit(1)

@@ -156,6 +156,14 @@ type Scheduler struct {
 	// skipped at activation time instead of completing hopelessly late.
 	ewmaPipeMS float64
 
+	// kernelPool recycles gpu.Kernel structs across stage launches, and
+	// stateOf maps a kernel's context (by device ID) back to its
+	// ctxState; together with the shared doneFn callback, a stage launch
+	// allocates no kernel and no closure.
+	kernelPool []*gpu.Kernel
+	stateOf    map[int]*ctxState
+	doneFn     func(k *gpu.Kernel, now des.Time)
+
 	// Stats.
 	promotions uint64
 	assigned   uint64
@@ -234,6 +242,8 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 	if s.maxInflight < 1 {
 		s.maxInflight = 1
 	}
+	s.stateOf = map[int]*ctxState{}
+	s.doneFn = s.kernelDone
 	for i, sms := range s.cfg.ContextSMs {
 		ctx, err := dev.CreateContext(fmt.Sprintf("cp%d", i), sms)
 		if err != nil {
@@ -245,7 +255,9 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 		for l := 0; l < s.cfg.LowStreams; l++ {
 			ctx.AddStream(fmt.Sprintf("lo%d", l), gpu.LowPriority)
 		}
-		s.ctxs = append(s.ctxs, &ctxState{ctx: ctx})
+		c := &ctxState{ctx: ctx}
+		s.ctxs = append(s.ctxs, c)
+		s.stateOf[ctx.ID()] = c
 	}
 	return nil
 }
@@ -396,18 +408,41 @@ func (s *Scheduler) dispatch(c *ctxState, now des.Time) {
 
 // launch submits one stage kernel. Stage executions carry no fixed
 // reconfiguration cost: the context pool is pre-created (seamless switch).
+// Kernels come from the scheduler's free list and carry the shared
+// completion callback, so a launch performs no kernel or closure allocation.
 func (s *Scheduler) launch(c *ctxState, stream *gpu.Stream, st *rt.StageJob, now des.Time) {
 	st.MarkStarted(now)
 	c.inFlight++
 	task := st.Job.Task
-	k := &gpu.Kernel{
-		Label:  st.String(),
-		Shares: scaleShares(task.Stages[st.Index].Shares, st.Job.WorkScale),
-		OnComplete: func(t des.Time) {
-			s.onStageDone(c, st, t)
-		},
-	}
+	k := s.getKernel()
+	k.Label = st.Label()
+	k.Shares = scaleShares(task.Stages[st.Index].Shares, st.Job.WorkScale)
+	k.Arg = st
+	k.OnDone = s.doneFn
 	stream.Submit(k)
+}
+
+// getKernel pops a kernel from the free list or allocates one.
+func (s *Scheduler) getKernel() *gpu.Kernel {
+	if n := len(s.kernelPool); n > 0 {
+		k := s.kernelPool[n-1]
+		s.kernelPool[n-1] = nil
+		s.kernelPool = s.kernelPool[:n-1]
+		return k
+	}
+	return &gpu.Kernel{}
+}
+
+// kernelDone is the shared completion callback: it unpacks the stage, hands
+// the kernel back to the free list (the device guarantees it no longer
+// touches it), and retires the stage. Recycling before onStageDone lets the
+// dispatches it triggers reuse the kernel immediately.
+func (s *Scheduler) kernelDone(k *gpu.Kernel, now des.Time) {
+	st := k.Arg.(*rt.StageJob)
+	c := s.stateOf[k.Stream().Context().ID()]
+	k.Reset()
+	s.kernelPool = append(s.kernelPool, k)
+	s.onStageDone(c, st, now)
 }
 
 // scaleShares applies a job's execution-demand scale to stage work. Scale 1

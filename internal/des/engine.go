@@ -1,19 +1,34 @@
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a scheduled callback. It is returned by Engine.Schedule so callers
 // can cancel or reschedule it.
+//
+// Events come in two ownership flavours. Retained events (Schedule, After,
+// ScheduleArg) are owned by the caller: they may be cancelled, rescheduled —
+// even after firing — and handed back to the engine's free list with Recycle
+// once the caller holds no further references. Detached events (ScheduleFunc,
+// AfterFunc, AfterArg) never escape the engine: no pointer is returned, so
+// they cannot be cancelled or rescheduled, and the engine recycles them
+// automatically the moment they fire. Recycling clears the callback before
+// the event re-enters the pool, so a reused Event can never resurrect a
+// previous occupant's callback.
 type Event struct {
-	at     Time
-	seq    uint64
-	index  int // heap index, -1 when not queued
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	// Exactly one of fn / fnArg is set. The arg variants exist so hot
+	// paths can use a shared package-level function plus a context value
+	// instead of allocating a fresh closure per event.
 	fn     func(now Time)
+	fnArg  func(now Time, arg any)
+	arg    any
 	label  string
 	cancel bool
+	// detached marks engine-owned events (no pointer escaped): they are
+	// auto-recycled when they fire.
+	detached bool
 }
 
 // At reports the instant the event is scheduled to fire.
@@ -25,45 +40,21 @@ func (e *Event) Label() string { return e.label }
 // Pending reports whether the event is still queued and not cancelled.
 func (e *Event) Pending() bool { return e.index >= 0 && !e.cancel }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all callbacks run on the goroutine that calls Run.
+//
+// The pending-event queue is a concrete binary heap over (time, sequence)
+// keys — no container/heap interface dispatch — and fired or recycled events
+// return to a free list, so steady-state simulation schedules without
+// allocating. Because every event carries a unique, monotonically assigned
+// sequence number, heap comparisons never tie: the firing order is a pure
+// function of the schedule calls, independent of the heap's internal layout
+// or of event reuse.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*Event
+	free    []*Event
 	stopped bool
 	fired   uint64
 }
@@ -80,25 +71,95 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// FreeEvents reports the size of the event free list (diagnostics/tests).
+func (e *Engine) FreeEvents() int { return len(e.free) }
+
+// get pops an event from the free list (or allocates one) and stamps it with
+// a fresh sequence number. The returned event carries no callback yet.
+func (e *Engine) get(at Time, label string) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{at: at, seq: e.seq, index: -1, label: label}
+	e.seq++
+	return ev
+}
+
+// release clears ev (dropping its callback and argument so the pool never
+// retains them) and pushes it onto the free list. ev must not be queued.
+func (e *Engine) release(ev *Event) {
+	*ev = Event{index: -1}
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) checkSchedule(at Time, label string, ok bool) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: schedule %q at %v before now %v", label, at, e.now))
+	}
+	if !ok {
+		panic("des: schedule with nil callback")
+	}
+}
+
 // Schedule queues fn to run at the absolute instant at. Scheduling in the
 // past panics: that is always a simulation bug, and silently clamping it
 // would hide ordering errors. The label is for diagnostics and traces.
 func (e *Engine) Schedule(at Time, label string, fn func(now Time)) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("des: schedule %q at %v before now %v", label, at, e.now))
-	}
-	if fn == nil {
-		panic("des: schedule with nil callback")
-	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, label: label, index: -1}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	e.checkSchedule(at, label, fn != nil)
+	ev := e.get(at, label)
+	ev.fn = fn
+	e.push(ev)
 	return ev
 }
 
 // After queues fn to run d after the current instant.
 func (e *Engine) After(d Time, label string, fn func(now Time)) *Event {
 	return e.Schedule(e.now.Add(d), label, fn)
+}
+
+// ScheduleFunc is Schedule for fire-and-forget callbacks: no handle is
+// returned, so the event cannot be cancelled or rescheduled, and the engine
+// recycles it automatically when it fires.
+func (e *Engine) ScheduleFunc(at Time, label string, fn func(now Time)) {
+	e.checkSchedule(at, label, fn != nil)
+	ev := e.get(at, label)
+	ev.fn = fn
+	ev.detached = true
+	e.push(ev)
+}
+
+// AfterFunc is ScheduleFunc relative to the current instant.
+func (e *Engine) AfterFunc(d Time, label string, fn func(now Time)) {
+	e.ScheduleFunc(e.now.Add(d), label, fn)
+}
+
+// ScheduleArg queues a retained event whose callback receives arg at fire
+// time. A package-level fn plus an arg avoids the per-event closure
+// allocation of Schedule on hot paths.
+func (e *Engine) ScheduleArg(at Time, label string, fn func(now Time, arg any), arg any) *Event {
+	e.checkSchedule(at, label, fn != nil)
+	ev := e.get(at, label)
+	ev.fnArg = fn
+	ev.arg = arg
+	e.push(ev)
+	return ev
+}
+
+// AfterArg queues a detached (fire-and-forget, auto-recycled) event whose
+// callback receives arg, d after the current instant.
+func (e *Engine) AfterArg(d Time, label string, fn func(now Time, arg any), arg any) {
+	at := e.now.Add(d)
+	e.checkSchedule(at, label, fn != nil)
+	ev := e.get(at, label)
+	ev.fnArg = fn
+	ev.arg = arg
+	ev.detached = true
+	e.push(ev)
 }
 
 // Cancel removes ev from the queue if it has not fired. Cancelling an
@@ -111,7 +172,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
+	e.remove(ev.index)
 }
 
 // Reschedule moves a pending event to a new instant, preserving its callback.
@@ -124,14 +185,29 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 		ev.at = at
 		ev.seq = e.seq
 		e.seq++
-		heap.Fix(&e.queue, ev.index)
+		e.fix(ev.index)
 		return
 	}
 	ev.cancel = false
 	ev.at = at
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
+}
+
+// Recycle returns a retained event to the engine's free list. A pending
+// event is removed from the queue first (it will not fire). The caller must
+// drop every reference to ev: using it after Recycle is a use-after-free
+// class bug, exactly like retaining a pooled buffer. Recycling nil is a
+// no-op.
+func (e *Engine) Recycle(ev *Event) {
+	if ev == nil {
+		return
+	}
+	if ev.index >= 0 {
+		e.remove(ev.index)
+	}
+	e.release(ev)
 }
 
 // Stop makes the current Run call return after the in-flight callback.
@@ -140,13 +216,31 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the single earliest pending event and reports whether one fired.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.cancel {
+			// Cancelled retained events stay with their owner (it may
+			// Reschedule or Recycle them); only the engine-owned kind
+			// returns to the pool here.
+			if ev.detached {
+				e.release(ev)
+			}
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn(e.now)
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		// Detached events re-enter the pool before the callback runs, so
+		// the callback itself can reuse the slot for follow-up events.
+		// The callback was copied out above: a reused event never carries
+		// the old callback (release cleared it).
+		if ev.detached {
+			e.release(ev)
+		}
+		if fnArg != nil {
+			fnArg(e.now, arg)
+		} else {
+			fn(e.now)
+		}
 		return true
 	}
 	return false
@@ -164,7 +258,10 @@ func (e *Engine) RunUntil(horizon Time) {
 		}
 		next := e.queue[0]
 		if next.cancel {
-			heap.Pop(&e.queue)
+			ev := e.pop()
+			if ev.detached {
+				e.release(ev)
+			}
 			continue
 		}
 		if next.at > horizon {
@@ -182,4 +279,99 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+}
+
+// less orders the heap by (time, sequence). Sequence numbers are unique, so
+// the order is total and deterministic.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.up(ev.index)
+}
+
+// pop removes and returns the heap minimum, marking it unqueued.
+func (e *Engine) pop() *Event {
+	n := len(e.queue) - 1
+	e.swap(0, n)
+	ev := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at heap index i, marking it unqueued.
+func (e *Engine) remove(i int) {
+	n := len(e.queue) - 1
+	ev := e.queue[i]
+	if i != n {
+		e.swap(i, n)
+	}
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if i != n && n > 0 {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+	ev.index = -1
+}
+
+// fix restores heap order after the key of the event at index i changed.
+func (e *Engine) fix(i int) {
+	if !e.down(i) {
+		e.up(i)
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the event at index i toward the leaves, reporting whether it
+// moved.
+func (e *Engine) down(i int) bool {
+	n := len(e.queue)
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			break
+		}
+		e.swap(i, least)
+		i = least
+	}
+	return i > start
 }

@@ -1,0 +1,199 @@
+package des
+
+import "testing"
+
+// TestCancelThenRescheduleStillFires pins the retained-event contract the
+// event pool must not break: a cancelled event can be revived with
+// Reschedule and fires exactly once at the new instant.
+func TestCancelThenRescheduleStillFires(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	ev := e.Schedule(Millisecond, "x", func(now Time) { fired = append(fired, now) })
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	e.Reschedule(ev, 3*Millisecond)
+	if !ev.Pending() {
+		t.Fatal("rescheduled event not pending")
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 3*Millisecond {
+		t.Fatalf("fired = %v, want exactly once at 3ms", fired)
+	}
+}
+
+// TestCancelAfterRemovalThenReschedule exercises the lazy-cancellation
+// corner: the event is cancelled while queued (heap removal), then revived,
+// then cancelled again before it can fire.
+func TestCancelAfterRemovalThenReschedule(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.Schedule(Millisecond, "x", func(Time) { count++ })
+	e.Cancel(ev)
+	e.Reschedule(ev, 2*Millisecond)
+	e.Cancel(ev)
+	e.Run()
+	if count != 0 {
+		t.Fatalf("doubly-cancelled event fired %d times", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+}
+
+// TestPoolReuseNeverResurrectsFiredCallback is the pool-safety test: after a
+// detached event fires and its Event struct is reused for a later schedule,
+// the original callback must never run again — under plain reuse, under
+// cancel, and under reschedule of unrelated retained events.
+func TestPoolReuseNeverResurrectsFiredCallback(t *testing.T) {
+	e := NewEngine()
+	var aFired, bFired int
+	e.AfterFunc(Millisecond, "a", func(Time) { aFired++ })
+	e.Run()
+	if aFired != 1 {
+		t.Fatalf("a fired %d times, want 1", aFired)
+	}
+	if e.FreeEvents() != 1 {
+		t.Fatalf("free list has %d events after one detached fire, want 1", e.FreeEvents())
+	}
+	// The next schedule reuses a's Event struct from the pool.
+	e.AfterFunc(Millisecond, "b", func(Time) { bFired++ })
+	if e.FreeEvents() != 0 {
+		t.Fatal("pool not reused for the second detached event")
+	}
+	e.Run()
+	if aFired != 1 {
+		t.Fatalf("pool reuse resurrected a's callback (fired %d times)", aFired)
+	}
+	if bFired != 1 {
+		t.Fatalf("b fired %d times, want 1", bFired)
+	}
+}
+
+// TestRecycledEventReusedForRetainedSchedule: a retained event handed back
+// with Recycle re-enters the pool, and its next occupant gets a fresh
+// callback and a working cancel/reschedule lifecycle.
+func TestRecycledEventReusedForRetainedSchedule(t *testing.T) {
+	e := NewEngine()
+	var old, next int
+	ev := e.Schedule(Millisecond, "old", func(Time) { old++ })
+	e.Run()
+	if old != 1 {
+		t.Fatal("retained event did not fire")
+	}
+	e.Recycle(ev) // owner is done with it
+	if e.FreeEvents() != 1 {
+		t.Fatalf("free list has %d events after Recycle, want 1", e.FreeEvents())
+	}
+	ev2 := e.Schedule(2*Millisecond, "next", func(Time) { next++ })
+	if ev2 != ev {
+		t.Fatal("pool did not hand back the recycled event struct")
+	}
+	e.Reschedule(ev2, 5*Millisecond)
+	e.Run()
+	if old != 1 || next != 1 {
+		t.Fatalf("old=%d next=%d, want 1 and 1 (no resurrection, one fresh fire)", old, next)
+	}
+}
+
+// TestRecyclePendingEventNeverFires: recycling an event that has not fired
+// removes it from the queue.
+func TestRecyclePendingEventNeverFires(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.Schedule(Millisecond, "x", func(Time) { count++ })
+	e.Recycle(ev)
+	if e.Pending() != 0 {
+		t.Fatalf("recycled pending event still queued (%d pending)", e.Pending())
+	}
+	e.Run()
+	if count != 0 {
+		t.Fatalf("recycled event fired %d times", count)
+	}
+	e.Recycle(nil) // no-op
+}
+
+// TestPoolStaysBoundedUnderChurn: a long schedule/fire chain must recycle
+// through a bounded pool instead of growing the free list or the heap.
+func TestPoolStaysBoundedUnderChurn(t *testing.T) {
+	e := NewEngine()
+	const rounds = 10000
+	count := 0
+	var tick func(now Time)
+	tick = func(now Time) {
+		count++
+		if count < rounds {
+			e.AfterFunc(Millisecond, "tick", tick)
+		}
+	}
+	e.AfterFunc(Millisecond, "tick", tick)
+	e.Run()
+	if count != rounds {
+		t.Fatalf("fired %d, want %d", count, rounds)
+	}
+	if e.FreeEvents() > 2 {
+		t.Fatalf("free list grew to %d events under sequential churn, want ≤ 2", e.FreeEvents())
+	}
+}
+
+// TestArgCallbacksDeliverArgAndOrder: the arg-style variants must deliver
+// the scheduled argument and preserve (time, sequence) firing order mixed
+// with closure events.
+func TestArgCallbacksDeliverArgAndOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	record := func(_ Time, arg any) { order = append(order, arg.(int)) }
+	e.ScheduleArg(2*Millisecond, "two", record, 2)
+	e.AfterArg(Millisecond, "one", record, 1)
+	e.Schedule(3*Millisecond, "three", func(Time) { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestRetainedRescheduleAfterFireRequeues pins the documented semantics the
+// GPU engine relies on: rescheduling an already-fired retained event
+// re-queues it with its original callback.
+func TestRetainedRescheduleAfterFireRequeues(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.Schedule(Millisecond, "x", func(Time) { count++ })
+	e.Run()
+	e.Reschedule(ev, e.Now().Add(Millisecond))
+	e.Run()
+	if count != 2 {
+		t.Fatalf("fired %d times, want 2 (fire, requeue, fire)", count)
+	}
+}
+
+// TestHeapRemoveMiddle exercises the concrete heap's remove/fix paths with
+// cancellations from the middle of a large queue.
+func TestHeapRemoveMiddle(t *testing.T) {
+	e := NewEngine()
+	const n = 200
+	events := make([]*Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(Time(i+1)*Millisecond, "x", func(Time) { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i += 3 {
+		e.Cancel(events[i])
+	}
+	e.Run()
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		if fired[want] != i {
+			t.Fatalf("fired[%d] = %d, want %d (out of order after removals)", want, fired[want], i)
+		}
+		want++
+	}
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+}

@@ -111,6 +111,14 @@ type Device struct {
 	lastUpdate des.Time
 	observer   Observer
 
+	// Per-context scratch buffers reused across recompute/waterfill calls
+	// (indexed by context ID). recompute runs on every running-set change
+	// — twice per kernel — so allocating these per call dominated the
+	// simulator's allocation profile.
+	weightScratch []float64
+	allocScratch  []float64
+	cappedScratch []bool
+
 	// Accounting.
 	completedKernels uint64
 	busySMTime       float64 // ∫ (effective SMs in use) dt, in SM·seconds

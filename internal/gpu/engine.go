@@ -10,6 +10,20 @@ import (
 // remaining work has hit zero.
 const workEpsilon = 1e-9
 
+// kernelStart and kernelFinish are the shared event callbacks for kernel
+// launch and completion. Using arg-style events with package-level functions
+// (the device is reachable through the kernel's stream) avoids a closure
+// allocation per kernel on both paths.
+func kernelStart(now des.Time, arg any) {
+	k := arg.(*Kernel)
+	k.stream.ctx.device.start(k, now)
+}
+
+func kernelFinish(now des.Time, arg any) {
+	k := arg.(*Kernel)
+	k.stream.ctx.device.complete(k, now)
+}
+
 // pump starts the next queued kernel on s if the stream is idle. The kernel
 // begins executing after the device's launch overhead.
 func (d *Device) pump(s *Stream) {
@@ -19,9 +33,7 @@ func (d *Device) pump(s *Stream) {
 	k := s.queue[0]
 	s.queue = s.queue[1:]
 	s.running = k
-	d.eng.After(d.cfg.LaunchOverhead, "gpu.launch:"+k.Label, func(now des.Time) {
-		d.start(k, now)
-	})
+	d.eng.AfterArg(d.cfg.LaunchOverhead, "gpu.launch", kernelStart, k)
 }
 
 // start admits k into the running set and recomputes all rates.
@@ -76,7 +88,7 @@ func (d *Device) advance(now des.Time) {
 // sharing model described in the package comment.
 func (d *Device) recompute(now des.Time) {
 	// Per-context priority-weight sums and total demand.
-	weightSum := make([]float64, len(d.contexts))
+	weightSum := d.scratchFloats(&d.weightScratch)
 	demand := 0
 	for _, ctx := range d.contexts {
 		if ctx.activeKernels > 0 {
@@ -104,7 +116,7 @@ func (d *Device) recompute(now des.Time) {
 		ctx := k.stream.ctx
 		share := alloc[ctx.id] * k.stream.priority.weight() / weightSum[ctx.id]
 		k.effSMs = share
-		gain := d.model.Aggregate(k.Shares, k.effSMs)
+		gain := k.aggregateGain(d.model, k.effSMs)
 		if k.remainingWork > workEpsilon && gain <= 0 {
 			panic(fmt.Sprintf("gpu: kernel %q has work but zero gain at %.2f SMs", k.Label, k.effSMs))
 		}
@@ -144,8 +156,17 @@ func (d *Device) recompute(now des.Time) {
 		}
 	}
 
-	// Reschedule completions.
+	// Reschedule completions. A kernel whose rate did not change since its
+	// finish event was last scheduled keeps that event untouched: progress
+	// is linear in time at a fixed rate, so the finish instant computed
+	// back then is still the finish instant now — re-deriving it from the
+	// banked remainder would only replay the same arithmetic (modulo
+	// sub-nanosecond rounding) while paying a heap fix per kernel per
+	// running-set change.
 	for _, k := range d.running {
+		if k.finishEv != nil && k.rate == k.schedRate {
+			continue
+		}
 		var msLeft float64
 		switch {
 		case k.remainingWork > workEpsilon:
@@ -156,24 +177,42 @@ func (d *Device) recompute(now des.Time) {
 		// Ceil to the next nanosecond so the finish event never fires
 		// before the work is actually done.
 		at := now.Add(des.Time(msLeft*float64(des.Millisecond)) + 1)
+		k.schedRate = k.rate
 		if k.finishEv == nil {
-			kk := k
-			k.finishEv = d.eng.Schedule(at, "gpu.finish:"+k.Label, func(t des.Time) {
-				d.complete(kk, t)
-			})
+			k.finishEv = d.eng.ScheduleArg(at, "gpu.finish", kernelFinish, k)
 		} else {
 			d.eng.Reschedule(k.finishEv, at)
 		}
 	}
 }
 
+// scratchFloats returns *buf resized to the context count and zeroed.
+func (d *Device) scratchFloats(buf *[]float64) []float64 {
+	n := len(d.contexts)
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	} else {
+		*buf = (*buf)[:n]
+		clear(*buf)
+	}
+	return *buf
+}
+
 // waterfill distributes the device's SMs across busy contexts in proportion
 // to their active kernel weights, capping each context at its own SM
 // allocation and redistributing the surplus until it is absorbed. The result
-// is indexed by context ID; idle contexts get zero.
+// is indexed by context ID; idle contexts get zero. The returned slice is a
+// scratch buffer owned by the device, valid until the next recompute.
 func (d *Device) waterfill(weightSum []float64) []float64 {
-	alloc := make([]float64, len(d.contexts))
-	capped := make([]bool, len(d.contexts))
+	alloc := d.scratchFloats(&d.allocScratch)
+	capped := d.cappedScratch
+	if cap(capped) < len(d.contexts) {
+		capped = make([]bool, len(d.contexts))
+		d.cappedScratch = capped
+	} else {
+		capped = capped[:len(d.contexts)]
+		clear(capped)
+	}
 	remaining := float64(d.cfg.TotalSMs)
 	for {
 		var openWeight float64
@@ -233,6 +272,9 @@ func (d *Device) complete(k *Kernel, now des.Time) {
 		}
 	}
 	k.started = false
+	// The finish event has just fired and the device is its only holder:
+	// hand it back to the engine's pool for the next kernel.
+	d.eng.Recycle(k.finishEv)
 	k.finishEv = nil
 	k.stream.ctx.activeKernels--
 	s := k.stream
@@ -244,6 +286,12 @@ func (d *Device) complete(k *Kernel, now des.Time) {
 	}
 	if k.OnComplete != nil {
 		k.OnComplete(now)
+	}
+	// OnDone runs last and hands ownership back to the scheduler: the
+	// kernel may be reset and reused before it returns, so no field of k
+	// is read past this point.
+	if k.OnDone != nil {
+		k.OnDone(k, now)
 	}
 	d.pump(s)
 }

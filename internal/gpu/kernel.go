@@ -24,6 +24,14 @@ type Kernel struct {
 	// overhead), OnComplete when it finishes. Either may be nil.
 	OnStart    func(now des.Time)
 	OnComplete func(now des.Time)
+	// OnDone, when non-nil, fires on completion after OnComplete,
+	// receiving the kernel itself. Together with Arg it lets schedulers
+	// share one callback across every kernel instead of allocating a
+	// closure per launch. It is the last time the device touches the
+	// kernel: the callback may Reset and reuse it immediately.
+	OnDone func(k *Kernel, now des.Time)
+	// Arg is an opaque scheduler payload carried to OnDone.
+	Arg any
 
 	stream *Stream
 
@@ -36,6 +44,47 @@ type Kernel struct {
 	started        bool
 	finishEv       *des.Event
 	startedAt      des.Time
+
+	// Closed-form aggregate-gain coefficients, precomputed on first use.
+	// The composed gain is a weighted harmonic mean over saturating
+	// curves gᵢ(n) = Aᵢ·n/(n+Bᵢ):
+	//
+	//	gain(n) = W / Σ wᵢ/gᵢ(n) = W / (P + Q/n)
+	//
+	// with W = Σwᵢ, P = Σ wᵢ/Aᵢ, Q = Σ wᵢ·Bᵢ/Aᵢ — so recompute, which
+	// re-evaluates every running kernel's gain on every running-set
+	// change, pays two flops per kernel instead of a loop over work
+	// classes. The coefficients are pure functions of (Shares, model),
+	// both fixed for a kernel's lifetime.
+	aggW, aggP, aggQ float64
+	aggOK            bool
+	// schedRate is the rate the finish event was last scheduled under;
+	// recompute skips the reschedule when the rate is unchanged.
+	schedRate float64
+}
+
+// aggregateGain returns the model's composed gain at n effective SMs via the
+// precomputed closed form.
+func (k *Kernel) aggregateGain(m *speedup.Model, n float64) float64 {
+	if !k.aggOK {
+		for _, p := range k.Shares {
+			if p.Work < 0 {
+				panic(fmt.Sprintf("gpu: kernel %q has negative work", k.Label))
+			}
+			if p.Work == 0 {
+				continue
+			}
+			c := m.Curve(p.Class)
+			k.aggW += p.Work
+			k.aggP += p.Work / c.A
+			k.aggQ += p.Work * c.B / c.A
+		}
+		k.aggOK = true
+	}
+	if n <= 0 || k.aggW == 0 {
+		return 0
+	}
+	return k.aggW / (k.aggP + k.aggQ/n)
 }
 
 // totalWork sums the scalable work across classes.
@@ -48,6 +97,15 @@ func (k *Kernel) totalWork() float64 {
 		w += s.Work
 	}
 	return w
+}
+
+// Reset clears the kernel for reuse from a free list. Resetting a submitted
+// kernel that has not completed is a programming error and panics.
+func (k *Kernel) Reset() {
+	if k.started || k.finishEv != nil {
+		panic(fmt.Sprintf("gpu: reset of running kernel %q", k.Label))
+	}
+	*k = Kernel{}
 }
 
 // Running reports whether the kernel is currently executing.

@@ -25,6 +25,7 @@ import (
 	"sgprs/internal/des"
 	"sgprs/internal/gpu"
 	"sgprs/internal/rt"
+	"sgprs/internal/speedup"
 )
 
 // Config parameterises the baseline.
@@ -72,6 +73,11 @@ type Scheduler struct {
 	dev   *gpu.Device
 	parts []*partition
 	homes map[int]*partition // task ID → partition
+	// baseShares caches each task's per-class work vector (task ID →
+	// Graph.WorkByClass()), computed once at Attach. Jobs without work
+	// variation submit the shared slice directly — the device only reads
+	// it — so the per-release map-and-slice rebuild is gone.
+	baseShares map[int][]speedup.WorkShare
 
 	reconfigs uint64
 }
@@ -114,7 +120,9 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 			lastTask: -1,
 		})
 	}
+	s.baseShares = map[int][]speedup.WorkShare{}
 	for i, t := range tasks {
+		s.baseShares[t.ID] = t.Graph.WorkByClass()
 		p := s.parts[i%len(s.parts)]
 		p.tasks = append(p.tasks, t)
 		s.homes[t.ID] = p
@@ -142,14 +150,16 @@ func (s *Scheduler) OnRelease(job *rt.Job, now des.Time) {
 	}
 	p.lastTask = job.Task.ID
 
-	shares := job.Task.Graph.WorkByClass()
+	shares := s.baseShares[job.Task.ID]
 	if job.WorkScale != 1 && job.WorkScale > 0 {
-		for i := range shares {
-			shares[i].Work *= job.WorkScale
+		scaled := make([]speedup.WorkShare, len(shares))
+		for i, ws := range shares {
+			scaled[i] = speedup.WorkShare{Class: ws.Class, Work: ws.Work * job.WorkScale}
 		}
+		shares = scaled
 	}
 	k := &gpu.Kernel{
-		Label:   job.String(),
+		Label:   job.Label(),
 		Shares:  shares,
 		FixedMS: fixed,
 		OnStart: func(t des.Time) {

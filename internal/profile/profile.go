@@ -34,6 +34,12 @@ func New(model *speedup.Model, cfg gpu.Config) *Profiler {
 	return &Profiler{model: model, cfg: cfg, Margin: 0.05}
 }
 
+// Model returns the speedup model measurements run against.
+func (p *Profiler) Model() *speedup.Model { return p.model }
+
+// Config returns the device configuration measurements run against.
+func (p *Profiler) Config() gpu.Config { return p.cfg }
+
 // measure runs a single kernel alone on a fresh device with a context of sms
 // SMs and returns its wall latency (including launch overhead).
 func (p *Profiler) measure(k *gpu.Kernel, sms int) (des.Time, error) {

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sgprs/internal/memo"
 	"sgprs/internal/sim"
 )
 
@@ -102,6 +103,28 @@ type Options struct {
 	// drivers in package sim bit-for-bit. Only affects the expansion
 	// helpers (SweepSeries, RunScenario, ...), not explicit Job lists.
 	DecorrelateSeeds bool
+	// Cache is the offline-phase cache shared by the pool's workers; nil
+	// means the process-wide memo.Default(). The cache's per-key
+	// singleflight ensures each distinct (graph, task shape) is profiled
+	// by exactly one worker while the others proceed. Cache hits never
+	// change results (memo's package comment has the argument; tests in
+	// internal/sim pin it).
+	Cache *memo.Cache
+	// NoOfflineCache disables offline-phase memoization entirely: every
+	// run rebuilds the reference graph and re-profiles every task. Only
+	// useful for benchmarking the cache itself and for equivalence tests.
+	NoOfflineCache bool
+}
+
+// cache resolves the effective offline cache for a fan-out.
+func (o Options) cache() *memo.Cache {
+	if o.NoOfflineCache {
+		return nil
+	}
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return memo.Default()
 }
 
 func (o Options) workers(jobs int) int {
@@ -134,6 +157,7 @@ func Run(jobs []Job, opt Options) []JobResult {
 		wg   sync.WaitGroup
 	)
 	total := len(jobs)
+	cache := opt.cache()
 	for w := opt.workers(total); w > 0; w-- {
 		wg.Add(1)
 		go func() {
@@ -144,7 +168,7 @@ func Run(jobs []Job, opt Options) []JobResult {
 					return
 				}
 				r := JobResult{Job: jobs[i], Index: i}
-				res, err := sim.Run(jobs[i].Config)
+				res, err := sim.RunWith(jobs[i].Config, cache)
 				if err != nil {
 					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: err}
 				} else {

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sgprs/internal/memo"
+)
+
+// TestCachedScenarioBitIdentical is the offline-cache acceptance test: a
+// fully cached scenario regeneration (fresh cache populated during the run,
+// then a second pass served entirely from hits) must be byte-for-byte equal
+// to the uncached reference path, for both paper scenarios. All comparisons
+// are reflect.DeepEqual over the full ScenarioRun, so every float bit of
+// every metric participates.
+func TestCachedScenarioBitIdentical(t *testing.T) {
+	counts := []int{4, 12, 24}
+	const horizon = 2
+	for _, scenario := range []int{1, 2} {
+		uncached, err := RunScenarioWith(scenario, counts, horizon, 1, nil)
+		if err != nil {
+			t.Fatalf("scenario %d uncached: %v", scenario, err)
+		}
+		cache := memo.New()
+		cold, err := RunScenarioWith(scenario, counts, horizon, 1, cache)
+		if err != nil {
+			t.Fatalf("scenario %d cold cache: %v", scenario, err)
+		}
+		if !reflect.DeepEqual(uncached, cold) {
+			t.Errorf("scenario %d: cold-cache output differs from uncached", scenario)
+		}
+		warm, err := RunScenarioWith(scenario, counts, horizon, 1, cache)
+		if err != nil {
+			t.Fatalf("scenario %d warm cache: %v", scenario, err)
+		}
+		if !reflect.DeepEqual(uncached, warm) {
+			t.Errorf("scenario %d: warm-cache output differs from uncached", scenario)
+		}
+		st := cache.Stats()
+		if st.ProfileMisses == 0 || st.GraphMisses == 0 {
+			t.Errorf("scenario %d: cache was never populated (%v)", scenario, st)
+		}
+		// The warm pass and the intra-run dedup must actually hit: a
+		// scenario is 4 variants × 3 counts with up to 24 identical
+		// tasks each, so hits must dwarf misses.
+		if st.ProfileHits <= st.ProfileMisses {
+			t.Errorf("scenario %d: expected profile hits > misses, got %v", scenario, st)
+		}
+	}
+}
+
+// TestCachedRunBitIdentical pins single-run equality, including seed and
+// GPU-config variations that must not be conflated by cache keying.
+func TestCachedRunBitIdentical(t *testing.T) {
+	base := RunConfig{
+		Kind:       KindSGPRS,
+		ContextSMs: []int{34, 34},
+		NumTasks:   8,
+		HorizonSec: 2,
+	}
+	cache := memo.New()
+	for _, seed := range []uint64{1, 7} {
+		cfg := base
+		cfg.Seed = seed
+		want, err := RunWith(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunWith(cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("seed %d: cached run differs from uncached", seed)
+		}
+	}
+	// Two seeds, one task shape: the second seed must have been a pure
+	// profile hit (seed is excluded from the profile key by design).
+	if st := cache.Stats(); st.ProfileMisses != 1 {
+		t.Errorf("expected exactly one profile miss across seeds, got %v", st)
+	}
+}
+
+// TestNormalizeRejectsNegatives: negative quantities must be rejected, not
+// silently defaulted like zeros are.
+func TestNormalizeRejectsNegatives(t *testing.T) {
+	mutations := map[string]func(*RunConfig){
+		"fps":      func(c *RunConfig) { c.FPS = -30 },
+		"stages":   func(c *RunConfig) { c.Stages = -1 },
+		"warmup":   func(c *RunConfig) { c.WarmUpSec = -0.5 },
+		"jitter":   func(c *RunConfig) { c.ReleaseJitterMS = -1 },
+		"numtasks": func(c *RunConfig) { c.NumTasks = -4 },
+	}
+	for name, mutate := range mutations {
+		cfg := RunConfig{Kind: KindSGPRS, ContextSMs: []int{34}, NumTasks: 1}
+		mutate(&cfg)
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("%s: negative value accepted", name)
+		}
+	}
+	// Zeros still default.
+	cfg := RunConfig{Kind: KindSGPRS, ContextSMs: []int{34}, NumTasks: 1}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if cfg.FPS != 30 || cfg.Stages != 6 || cfg.WarmUpSec != 1 {
+		t.Errorf("zero defaults changed: fps=%v stages=%d warmup=%v", cfg.FPS, cfg.Stages, cfg.WarmUpSec)
+	}
+}

@@ -6,11 +6,13 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"sgprs/internal/core"
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
 	"sgprs/internal/gpu"
+	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
 	"sgprs/internal/naive"
 	"sgprs/internal/profile"
@@ -87,7 +89,11 @@ type RunConfig struct {
 	Observer gpu.Observer
 }
 
-// Normalize fills defaults and validates.
+// Normalize fills defaults and validates. Zero values default; negative
+// values for quantities that must be positive are rejected rather than
+// defaulted — a negative FPS or stage count is always a caller bug, and
+// letting it flow into the workload generator produces panics far from the
+// mistake.
 func (c *RunConfig) Normalize() error {
 	if c.Name == "" {
 		c.Name = c.Kind.String()
@@ -97,6 +103,18 @@ func (c *RunConfig) Normalize() error {
 	}
 	if c.NumTasks <= 0 {
 		return fmt.Errorf("sim: run %q needs at least one task", c.Name)
+	}
+	if c.FPS < 0 {
+		return fmt.Errorf("sim: run %q FPS %v must be non-negative", c.Name, c.FPS)
+	}
+	if c.Stages < 0 {
+		return fmt.Errorf("sim: run %q stage count %d must be non-negative", c.Name, c.Stages)
+	}
+	if c.WarmUpSec < 0 {
+		return fmt.Errorf("sim: run %q warm-up %vs must be non-negative", c.Name, c.WarmUpSec)
+	}
+	if c.ReleaseJitterMS < 0 {
+		return fmt.Errorf("sim: run %q release jitter %vms must be non-negative", c.Name, c.ReleaseJitterMS)
 	}
 	if c.FPS == 0 {
 		c.FPS = 30
@@ -143,13 +161,36 @@ func ReferenceGraph(model *speedup.Model) *dnn.Graph {
 	return g
 }
 
-// Run executes one simulation and returns its metrics.
+// defaultModel returns the process-wide default speedup model. The model is
+// immutable after construction and DefaultModel is deterministic, so one
+// shared instance serves every run — and gives the offline cache a stable
+// identity to key on.
+var defaultModel = sync.OnceValue(speedup.DefaultModel)
+
+// DefaultModel exposes the shared default speedup model. Callers that
+// profile directly (cmd/sgprs-analyze) must use this instance — not a fresh
+// speedup.DefaultModel() — for their measurements to share offline-cache
+// entries with the run drivers, which key on model identity.
+func DefaultModel() *speedup.Model { return defaultModel() }
+
+// Run executes one simulation and returns its metrics. The offline phase
+// (reference-graph calibration, WCET profiling) is served from the
+// process-wide cache (memo.Default()); results are bit-identical to an
+// uncached run (see memo's package comment and TestCachedRunBitIdentical).
 func Run(cfg RunConfig) (Result, error) {
+	return RunWith(cfg, memo.Default())
+}
+
+// RunWith is Run with an explicit offline-phase cache. A nil cache disables
+// memoization entirely: the reference graph is rebuilt and every task
+// profiled from scratch — the reference code path the cached one is tested
+// against.
+func RunWith(cfg RunConfig, cache *memo.Cache) (Result, error) {
 	if err := cfg.Normalize(); err != nil {
 		return Result{}, err
 	}
 	eng := des.NewEngine()
-	model := speedup.DefaultModel()
+	model := defaultModel()
 
 	dev, err := gpu.NewDevice(eng, model, cfg.GPU)
 	if err != nil {
@@ -159,7 +200,13 @@ func Run(cfg RunConfig) (Result, error) {
 		dev.SetObserver(cfg.Observer)
 	}
 
-	graph := ReferenceGraph(model)
+	var graph *dnn.Graph
+	if cache != nil {
+		key := memo.GraphKey{Model: model, Name: "resnet18-ref", SMs: speedup.DeviceSMs, TargetMS: ReferenceLatencyMS}
+		graph = cache.Graph(key, func() *dnn.Graph { return ReferenceGraph(model) })
+	} else {
+		graph = ReferenceGraph(model)
+	}
 	specs := workload.Identical(cfg.NumTasks, workload.TaskSpec{
 		Name:          "resnet18",
 		Graph:         graph,
@@ -174,7 +221,9 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	// Offline phase: profile stage WCETs in isolation on the smallest
-	// context of the pool (conservative).
+	// context of the pool (conservative). With a cache, each distinct task
+	// shape is measured once — here or in any earlier run — instead of
+	// once per task.
 	minSMs := cfg.ContextSMs[0]
 	for _, s := range cfg.ContextSMs[1:] {
 		if s < minSMs {
@@ -182,9 +231,15 @@ func Run(cfg RunConfig) (Result, error) {
 		}
 	}
 	prof := profile.New(model, cfg.GPU)
-	for _, t := range tasks {
-		if err := prof.ProfileTask(t, minSMs); err != nil {
+	if cache != nil {
+		if err := cache.ProfileTasks(prof, tasks, minSMs); err != nil {
 			return Result{}, err
+		}
+	} else {
+		for _, t := range tasks {
+			if err := prof.ProfileTask(t, minSMs); err != nil {
+				return Result{}, err
+			}
 		}
 	}
 
@@ -300,13 +355,19 @@ func ScenarioContexts(scenario int) (int, error) {
 }
 
 // SweepSeries runs one variant across the task counts and returns the
-// figure series.
+// figure series. The offline phase is served from the default cache.
 func SweepSeries(base RunConfig, taskCounts []int) ([]metrics.Point, error) {
+	return SweepSeriesWith(base, taskCounts, memo.Default())
+}
+
+// SweepSeriesWith is SweepSeries with an explicit offline-phase cache (nil
+// disables memoization).
+func SweepSeriesWith(base RunConfig, taskCounts []int, cache *memo.Cache) ([]metrics.Point, error) {
 	series := make([]metrics.Point, 0, len(taskCounts))
 	for _, n := range taskCounts {
 		cfg := base
 		cfg.NumTasks = n
-		res, err := Run(cfg)
+		res, err := RunWith(cfg, cache)
 		if err != nil {
 			return nil, fmt.Errorf("sim: sweep %s n=%d: %w", base.Name, n, err)
 		}
@@ -324,8 +385,15 @@ type ScenarioRun struct {
 	Order      []string                   // display order
 }
 
-// RunScenario regenerates one paper scenario (Figures 3 or 4).
+// RunScenario regenerates one paper scenario (Figures 3 or 4). The offline
+// phase is served from the default cache.
 func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*ScenarioRun, error) {
+	return RunScenarioWith(scenario, taskCounts, horizonSec, seed, memo.Default())
+}
+
+// RunScenarioWith is RunScenario with an explicit offline-phase cache (nil
+// disables memoization).
+func RunScenarioWith(scenario int, taskCounts []int, horizonSec float64, seed uint64, cache *memo.Cache) (*ScenarioRun, error) {
 	np, err := ScenarioContexts(scenario)
 	if err != nil {
 		return nil, err
@@ -344,7 +412,7 @@ func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64
 			Seed:       seed,
 			NumTasks:   1, // overwritten by the sweep
 		}
-		series, err := SweepSeries(base, taskCounts)
+		series, err := SweepSeriesWith(base, taskCounts, cache)
 		if err != nil {
 			return nil, err
 		}

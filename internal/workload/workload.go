@@ -55,7 +55,18 @@ func Identical(n int, spec TaskSpec, stagger bool) []TaskSpec {
 // Build materialises rt.Tasks from specs: partitions each graph into its
 // stage chain and wires periods, deadlines, and offsets. WCETs remain unset;
 // run the profiler before attaching a scheduler.
+//
+// Specs sharing a graph and stage count — the common Identical case —
+// share one partition: the balanced-partition DP runs once per distinct
+// (graph, stages) pair and the resulting stage chain is handed to every
+// task. Stages are immutable after Partition (schedulers only read Shares
+// and WorkMS), so the sharing is invisible to results.
 func Build(specs []TaskSpec) ([]*rt.Task, error) {
+	type partKey struct {
+		graph  *dnn.Graph
+		stages int
+	}
+	partitions := map[partKey][]*dnn.Stage{}
 	tasks := make([]*rt.Task, 0, len(specs))
 	for i, sp := range specs {
 		if sp.FPS <= 0 {
@@ -64,9 +75,15 @@ func Build(specs []TaskSpec) ([]*rt.Task, error) {
 		if sp.Graph == nil {
 			return nil, fmt.Errorf("workload: task %q has no graph", sp.Name)
 		}
-		stages, err := dnn.Partition(sp.Graph, sp.Stages)
-		if err != nil {
-			return nil, fmt.Errorf("workload: task %q: %w", sp.Name, err)
+		key := partKey{graph: sp.Graph, stages: sp.Stages}
+		stages, ok := partitions[key]
+		if !ok {
+			var err error
+			stages, err = dnn.Partition(sp.Graph, sp.Stages)
+			if err != nil {
+				return nil, fmt.Errorf("workload: task %q: %w", sp.Name, err)
+			}
+			partitions[key] = stages
 		}
 		period := des.FromSeconds(1 / sp.FPS)
 		df := sp.DeadlineFactor
@@ -128,8 +145,15 @@ func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
 	for _, t := range tasks {
 		t := t
 		rng := g.rng.Fork(uint64(t.ID) + 1)
-		var release func(idx int)
-		release = func(idx int) {
+		label := "release:" + t.Name
+		// One release is in flight per task at any instant (the next is
+		// scheduled from the current one's callback), so a single mutable
+		// index and two closures serve the task's whole release chain;
+		// the events themselves are detached and recycle through the
+		// engine's pool.
+		idx := 0
+		var fire func(now des.Time)
+		scheduleNext := func() {
 			at := t.Offset.Add(des.Time(int64(t.Period) * int64(idx)))
 			if t.ReleaseJitter > 0 {
 				at = at.Add(des.Time(rng.Float64() * float64(t.ReleaseJitter)))
@@ -137,19 +161,21 @@ func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
 			if at >= horizon {
 				return
 			}
-			g.eng.Schedule(at, "release:"+t.Name, func(now des.Time) {
-				job := t.NewJob(idx, now)
-				if t.WorkVariation > 0 {
-					job.WorkScale = rng.TruncNormal(
-						1, t.WorkVariation,
-						math.Max(0.5, 1-2*t.WorkVariation),
-						1+3*t.WorkVariation)
-				}
-				g.jobs = append(g.jobs, job)
-				g.sched.OnRelease(job, now)
-				release(idx + 1)
-			})
+			g.eng.ScheduleFunc(at, label, fire)
 		}
-		release(0)
+		fire = func(now des.Time) {
+			job := t.NewJob(idx, now)
+			if t.WorkVariation > 0 {
+				job.WorkScale = rng.TruncNormal(
+					1, t.WorkVariation,
+					math.Max(0.5, 1-2*t.WorkVariation),
+					1+3*t.WorkVariation)
+			}
+			g.jobs = append(g.jobs, job)
+			g.sched.OnRelease(job, now)
+			idx++
+			scheduleNext()
+		}
+		scheduleNext()
 	}
 }

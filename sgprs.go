@@ -37,6 +37,7 @@
 package sgprs
 
 import (
+	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
@@ -85,8 +86,33 @@ type JobErrors = runner.Errors
 // SweepProgress observes job completions during a sweep.
 type SweepProgress = runner.Progress
 
-// Run executes one simulation and returns its metrics.
+// OfflineCache memoizes the simulation's offline phase — the calibrated
+// reference graph and the per-shape WCET profile tables — across runs and
+// across the runner's workers. Cache hits are bit-identical to recomputing
+// (the memo package documents the argument; tests pin it). Run and the sweep
+// drivers use the process-wide default cache; pass an explicit cache through
+// SweepOptions.Cache to scope reuse, or set SweepOptions.NoOfflineCache to
+// measure the uncached path.
+type OfflineCache = memo.Cache
+
+// OfflineStats counts offline-cache traffic (hits and misses per table).
+type OfflineStats = memo.Stats
+
+// NewOfflineCache returns an empty offline-phase cache.
+func NewOfflineCache() *OfflineCache { return memo.New() }
+
+// DefaultOfflineCache returns the process-wide cache used by Run and the
+// sweep drivers; DefaultOfflineCache().Stats() reports its traffic.
+func DefaultOfflineCache() *OfflineCache { return memo.Default() }
+
+// Run executes one simulation and returns its metrics. The offline phase is
+// served from the default cache; results are bit-identical to an uncached
+// run.
 func Run(cfg RunConfig) (Result, error) { return sim.Run(cfg) }
+
+// RunUncached is Run without offline-phase memoization (the reference code
+// path the cached one is tested against).
+func RunUncached(cfg RunConfig) (Result, error) { return sim.RunWith(cfg, nil) }
 
 // RunJobs executes an explicit job list on the worker pool, returning
 // ordered results with per-job error attribution.
