@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint ci
+.PHONY: build test race bench bench-json bench-long lint ci
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,19 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-json: rewrite BENCH_2.json (machine-readable ns/op, B/op,
+## bench-json: rewrite BENCH_3.json (machine-readable ns/op, B/op,
 ## allocs/op, and custom metrics per benchmark) from a 3-iteration run,
-## printing the delta against the committed numbers first. This is how the
-## perf trajectory stays trackable across PRs.
+## printing the ns/op and allocs/op delta against the committed numbers
+## first. This is how the perf trajectory stays trackable across PRs.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x . \
-		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_2.json -out BENCH_2.json
+		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_3.json -out BENCH_3.json
+
+## bench-long: the long-horizon memory benchmark alone — verifies that
+## allocations per simulated second are independent of horizon length
+## (streaming metrics + job recycling; see DESIGN.md §8).
+bench-long:
+	$(GO) test -run '^$$' -bench BenchmarkLongHorizon -benchmem -benchtime 1x .
 
 lint:
 	$(GO) vet ./...

@@ -347,6 +347,56 @@ func BenchmarkSingleRun(b *testing.B) {
 			}
 		}
 	})
+	// The steady-state path: one Session reused across runs, as every
+	// sweep worker does. Engine, device, job pool, and task structures
+	// all survive between iterations.
+	b.Run("warm-session", func(b *testing.B) {
+		b.ReportAllocs()
+		sess := sim.NewSession(memo.New())
+		if _, err := sess.Run(cfg); err != nil {
+			b.Fatal(err) // populate caches and pools outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLongHorizon is the O(active-jobs) memory benchmark: the same
+// saturating workload simulated over a 2 s and a 60 s horizon through a
+// reused Session. With streaming metrics and job recycling, allocations per
+// simulated second are independent of horizon length (the 60 s case amortises
+// per-run setup 30× further, so its allocs/simsec may only be lower) — before
+// PR 3, every released job was retained and the 60 s run held ~30× the heap.
+// The allocs/simsec metric feeds the CI benchmark-delta report via
+// BENCH_3.json.
+func BenchmarkLongHorizon(b *testing.B) {
+	for _, sec := range []float64{2, 60} {
+		sec := sec
+		b.Run(fmt.Sprintf("horizon-%.0fs", sec), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := ablationBase()
+			cfg.HorizonSec = sec
+			sess := sim.NewSession(memo.New())
+			if _, err := sess.Run(cfg); err != nil {
+				b.Fatal(err) // reach steady state outside the timed loop
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N)/sec, "allocs/simsec")
+		})
+	}
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: simulated kernel

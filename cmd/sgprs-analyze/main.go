@@ -1,6 +1,8 @@
 // Command sgprs-analyze runs the offline schedulability analysis for an
 // identical-task configuration and compares the analytic predictions (pivot
-// point, saturation FPS) against a short simulation.
+// point, saturation FPS) against a short simulation. The verification sweep
+// shares the offline cache with the direct profile below and reuses one run
+// session per worker (streaming metrics, recycled jobs).
 //
 // Usage:
 //

@@ -1,15 +1,17 @@
 // Command sgprs-benchjson converts `go test -bench` output (stdin) into
 // machine-readable JSON, so the repository's performance trajectory is
-// trackable across PRs (BENCH_2.json), and optionally compares the fresh
-// numbers against a committed baseline.
+// trackable across PRs (BENCH_<n>.json), and optionally compares the fresh
+// numbers — ns/op and allocs/op — against a committed baseline.
 //
 // The delta report is informational only: the command always exits 0 on
-// valid input, whatever the regression, so CI can surface drift in the log
-// without turning benchmark noise into a gate.
+// valid input, whatever the regression, and a baseline benchmark missing
+// from the fresh run (renamed or retired) is a warning, not an error — so
+// CI can surface drift in the log without turning benchmark churn into a
+// gate.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem -benchtime 1x . | sgprs-benchjson -out BENCH_2.json -baseline BENCH_2.json
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . | sgprs-benchjson -out BENCH_3.json -baseline BENCH_3.json
 package main
 
 import (
@@ -36,7 +38,7 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// File is the BENCH_2.json schema.
+// File is the BENCH_<n>.json schema.
 type File struct {
 	Package    string      `json:"package,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
@@ -150,7 +152,10 @@ func parse(sc *bufio.Scanner) (*File, error) {
 	return file, sc.Err()
 }
 
-// report prints a benchstat-style delta table (report-only; never fails).
+// report prints a benchstat-style delta table covering both ns/op and
+// allocs/op (report-only; never fails). Benchmarks present only in the
+// baseline — typically renamed or retired benches — are listed as warnings
+// rather than breaking the run, so `make bench-json` survives bench churn.
 func report(base, cur *File) {
 	old := map[string]Benchmark{}
 	for _, b := range base.Benchmarks {
@@ -166,22 +171,53 @@ func report(base, cur *File) {
 		byName[b.Name] = b
 	}
 	fmt.Fprintf(os.Stderr, "benchmark delta vs baseline (report-only; single-iteration smoke numbers are noisy):\n")
-	fmt.Fprintf(os.Stderr, "%-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(os.Stderr, "%-64s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, name := range names {
 		b := byName[name]
 		o, ok := old[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "%-64s %14s %14.0f %8s\n", name, "-", b.NsPerOp, "new")
+			fmt.Fprintf(os.Stderr, "%-64s %14s %14.0f %8s %12s %12s %8s\n",
+				name, "-", b.NsPerOp, "new", "-", allocsCell(b.AllocsPerOp), "new")
 			continue
 		}
-		delta := "~"
-		if o.NsPerOp > 0 {
-			pct := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
-			delta = fmt.Sprintf("%+.1f%%", pct)
-		}
-		fmt.Fprintf(os.Stderr, "%-64s %14.0f %14.0f %8s\n", name, o.NsPerOp, b.NsPerOp, delta)
-		if o.AllocsPerOp >= 0 && b.AllocsPerOp >= 0 && o.AllocsPerOp != b.AllocsPerOp {
-			fmt.Fprintf(os.Stderr, "%-64s %14d %14d allocs/op\n", "", o.AllocsPerOp, b.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "%-64s %14.0f %14.0f %8s %12s %12s %8s\n",
+			name, o.NsPerOp, b.NsPerOp, pctDelta(o.NsPerOp, b.NsPerOp),
+			allocsCell(o.AllocsPerOp), allocsCell(b.AllocsPerOp),
+			allocsDelta(o.AllocsPerOp, b.AllocsPerOp))
+	}
+	missing := make([]string, 0, len(old))
+	for name := range old {
+		if _, ok := byName[name]; !ok {
+			missing = append(missing, name)
 		}
 	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "warning: baseline benchmark %q missing from this run (renamed or removed?); skipping its delta\n", name)
+	}
+}
+
+// pctDelta renders the relative change, or "~" when the base is unusable.
+func pctDelta(old, new float64) string {
+	if old <= 0 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// allocsCell renders an allocs/op figure, or "-" when -benchmem was absent.
+func allocsCell(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// allocsDelta renders the allocs/op change when both sides measured it.
+func allocsDelta(old, new int64) string {
+	if old < 0 || new < 0 {
+		return "~"
+	}
+	return pctDelta(float64(old), float64(new))
 }

@@ -12,6 +12,9 @@
 // The offline phase (graph calibration, WCET profiling) is memoized across
 // the sweep's runs — bit-identical to re-profiling, just not redundant.
 // -no-offline-cache disables the cache; -offline-stats reports its traffic.
+// Each worker additionally reuses one run session (engine, device, job pool,
+// task structures) across every point it drains, and metrics stream as each
+// run progresses, so memory stays flat however long the -horizon.
 //
 // Usage:
 //

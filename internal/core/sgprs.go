@@ -272,8 +272,11 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 func (s *Scheduler) OnRelease(job *rt.Job, now des.Time) {
 	id := job.Task.ID
 	if s.active[id] != nil || s.inflight >= s.maxInflight {
-		if s.held[id] != nil {
+		if old := s.held[id]; old != nil {
 			s.replaced++
+			// The replaced frame will never run: report it abandoned
+			// so its owner can record and recycle it.
+			old.Discard(now)
 		} else {
 			s.heldOrder = append(s.heldOrder, id)
 		}
@@ -397,6 +400,7 @@ func (s *Scheduler) dispatch(c *ctxState, now des.Time) {
 					c.pendingWCET = 0
 				}
 				s.dropped++
+				st.Job.Discard(now)
 				s.jobOver(st.Job.Task.ID, now)
 				continue
 			}
@@ -409,13 +413,18 @@ func (s *Scheduler) dispatch(c *ctxState, now des.Time) {
 // launch submits one stage kernel. Stage executions carry no fixed
 // reconfiguration cost: the context pool is pre-created (seamless switch).
 // Kernels come from the scheduler's free list and carry the shared
-// completion callback, so a launch performs no kernel or closure allocation.
+// completion callback, so a launch performs no kernel or closure allocation;
+// the per-stage label string is only built when an observer will read it.
 func (s *Scheduler) launch(c *ctxState, stream *gpu.Stream, st *rt.StageJob, now des.Time) {
 	st.MarkStarted(now)
 	c.inFlight++
 	task := st.Job.Task
 	k := s.getKernel()
-	k.Label = st.Label()
+	if s.dev.HasObserver() {
+		k.Label = st.Label()
+	} else {
+		k.Label = "stage"
+	}
 	k.Shares = scaleShares(task.Stages[st.Index].Shares, st.Job.WorkScale)
 	k.Arg = st
 	k.OnDone = s.doneFn
@@ -520,6 +529,7 @@ func (s *Scheduler) jobOver(taskID int, now des.Time) {
 			// task's next frame start fresh and on time.
 			s.held[id] = nil
 			s.dropped++
+			h.Discard(now)
 		default:
 			s.held[id] = nil
 			s.activate(h, now)

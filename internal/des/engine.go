@@ -213,6 +213,23 @@ func (e *Engine) Recycle(ev *Event) {
 // Stop makes the current Run call return after the in-flight callback.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to the simulation epoch while keeping its event
+// free list, so a reused engine schedules without allocating from its first
+// event on. Every still-pending event is recycled into the pool and every
+// outstanding retained-Event handle is invalidated: callers must drop them
+// all before Reset, exactly as they would before discarding the engine.
+// After Reset the engine is indistinguishable from NewEngine() — clock at
+// zero, sequence counter at zero — so a run on a reset engine is
+// bit-identical to one on a fresh engine.
+func (e *Engine) Reset() {
+	for i, ev := range e.queue {
+		e.queue[i] = nil
+		e.release(ev)
+	}
+	e.queue = e.queue[:0]
+	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
+}
+
 // Step fires the single earliest pending event and reports whether one fired.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {

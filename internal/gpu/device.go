@@ -125,6 +125,10 @@ type Device struct {
 	workDone         float64 // single-SM milliseconds retired
 }
 
+// deviceRNG derives the device's stochastic stream from its seed; NewDevice
+// and Reset must agree on it for a reset device to replay a fresh one.
+func deviceRNG(seed uint64) *des.RNG { return des.NewRNG(seed).Fork(0xDE71CE) }
+
 // NewDevice builds a device on the given engine with the given speedup model.
 func NewDevice(eng *des.Engine, model *speedup.Model, cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
@@ -137,8 +141,32 @@ func NewDevice(eng *des.Engine, model *speedup.Model, cfg Config) (*Device, erro
 		eng:   eng,
 		model: model,
 		cfg:   cfg,
-		rng:   des.NewRNG(cfg.Seed).Fork(0xDE71CE),
+		rng:   deviceRNG(cfg.Seed),
 	}, nil
+}
+
+// Reset returns the device to its just-constructed state under a (possibly
+// different) configuration, retaining its allocations — the scratch buffers
+// and slice capacities survive, so a reused device recomputes without
+// growing. Contexts are discarded (schedulers recreate their pool on
+// Attach), the stochastic stream is re-derived from the new seed, and all
+// accounting restarts; a run on a reset device is bit-identical to one on a
+// fresh device. The caller must Reset the driving engine in the same breath:
+// finish events of still-running kernels live in its queue.
+func (d *Device) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	d.cfg = cfg
+	d.rng = deviceRNG(cfg.Seed)
+	d.contexts = d.contexts[:0]
+	d.running = d.running[:0]
+	d.lastUpdate = 0
+	d.observer = nil
+	d.completedKernels = 0
+	d.busySMTime = 0
+	d.workDone = 0
+	return nil
 }
 
 // Observer receives kernel lifecycle callbacks, e.g. for execution tracing.
@@ -153,6 +181,11 @@ type Observer interface {
 
 // SetObserver installs the lifecycle observer (nil to remove).
 func (d *Device) SetObserver(o Observer) { d.observer = o }
+
+// HasObserver reports whether a lifecycle observer is installed. Schedulers
+// use it to skip building per-kernel label strings nobody will read — label
+// formatting is pure diagnostics, so eliding it never changes results.
+func (d *Device) HasObserver() bool { return d.observer != nil }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }

@@ -25,13 +25,20 @@ func kernelFinish(now des.Time, arg any) {
 }
 
 // pump starts the next queued kernel on s if the stream is idle. The kernel
-// begins executing after the device's launch overhead.
+// begins executing after the device's launch overhead. Popping advances the
+// queue's head index and rewinds the slice once drained, keeping the backing
+// array for the next burst.
 func (d *Device) pump(s *Stream) {
-	if s.running != nil || len(s.queue) == 0 {
+	if s.running != nil || s.head == len(s.queue) {
 		return
 	}
-	k := s.queue[0]
-	s.queue = s.queue[1:]
+	k := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
 	s.running = k
 	d.eng.AfterArg(d.cfg.LaunchOverhead, "gpu.launch", kernelStart, k)
 }

@@ -135,6 +135,11 @@ func (k *Kernel) IsolatedLatencyMS(m *speedup.Model, n float64) float64 {
 // Stream is an in-order kernel queue within a context, with a fixed priority,
 // mirroring a CUDA stream. Kernels on one stream serialise; kernels on
 // different streams of one context run concurrently and share its SMs.
+//
+// The FIFO is a head-indexed slice rather than a reslice-on-pop queue: the
+// backing array is reclaimed every time the queue drains, so steady-state
+// submit/pump churn allocates nothing (a reslice-forward queue leaks its
+// capacity and pays one allocation per kernel).
 type Stream struct {
 	ctx      *Context
 	id       int
@@ -142,6 +147,7 @@ type Stream struct {
 	priority Priority
 
 	queue   []*Kernel
+	head    int
 	running *Kernel
 }
 
@@ -155,10 +161,10 @@ func (s *Stream) Priority() Priority { return s.priority }
 func (s *Stream) Name() string { return s.name }
 
 // QueueLen reports the number of kernels waiting (excluding a running one).
-func (s *Stream) QueueLen() int { return len(s.queue) }
+func (s *Stream) QueueLen() int { return len(s.queue) - s.head }
 
 // Busy reports whether the stream has running or queued work.
-func (s *Stream) Busy() bool { return s.running != nil || len(s.queue) > 0 }
+func (s *Stream) Busy() bool { return s.running != nil || s.QueueLen() > 0 }
 
 // Running returns the currently executing kernel, or nil.
 func (s *Stream) Running() *Kernel { return s.running }

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sgprs/internal/des"
+	"sgprs/internal/rt"
+	"sgprs/internal/stats"
+)
+
+// Collector is the streaming counterpart of Evaluate: it consumes job
+// lifecycle events as the simulation produces them — releases from the
+// workload generator, completions from the schedulers via rt.JobWatcher —
+// and retains only counters plus one response-time float per released job.
+// The jobs themselves can be recycled the moment they are recorded, so a
+// run's live memory is O(in-flight jobs) instead of O(all jobs ever
+// released).
+//
+// Bit-identity with Evaluate is a hard invariant (the repository's
+// sim-determinism rule: no order-sensitive float accumulation may change).
+// Evaluate walks the generator's job list in release order, so its
+// response-time mean sums floats in release order and its quantiles sort
+// that same multiset. The collector pins the identical order by assigning
+// every in-window released job a slot (Job.MetricsSlot) at release time and
+// writing the response time into that slot at completion time: completions
+// may arrive in any order, but Summary folds the slots back in release
+// order. Unfilled slots (jobs that never finished) hold NaN and are skipped,
+// exactly as Evaluate skips jobs with Done unset. TestCollectorMatchesEvaluate
+// and the sim streaming-equivalence tests pin this.
+//
+// Missed-job accounting needs no deadline timers: an in-window released job
+// has Deadline < horizon by construction, so at the horizon every such job
+// is either completed (late or not — lateness is decided at completion) or
+// missed. Summary therefore derives
+//
+//	Missed = lateCompleted + (released − completedReleased)
+//
+// which equals Evaluate's per-job Missed scan.
+type Collector struct {
+	warmUp, horizon des.Time
+
+	released          int // in-window released jobs (deadline decidable)
+	completed         int // finishes inside the window, released or not
+	completedReleased int // in-window released jobs that finished
+	lateCompleted     int // …of which after their deadline
+
+	// resp holds one response-time slot per in-window released job, in
+	// release order; NaN marks a job that has not (yet) finished.
+	resp []float64
+	// scratch and sorted are Summary's reused buffers: the release-order
+	// compaction (mean summation order) and its sorted copy (quantiles).
+	scratch []float64
+	sorted  []float64
+}
+
+// NewCollector builds a collector for the measurement window [warmUp,
+// horizon). Like Evaluate, a horizon at or before the warm-up panics.
+func NewCollector(warmUp, horizon des.Time) *Collector {
+	c := &Collector{}
+	c.Reset(warmUp, horizon)
+	return c
+}
+
+// Reset rearms the collector for a new run over [warmUp, horizon), retaining
+// its buffers.
+func (c *Collector) Reset(warmUp, horizon des.Time) {
+	if horizon <= warmUp {
+		panic(fmt.Sprintf("metrics: horizon %v not after warm-up %v", horizon, warmUp))
+	}
+	c.warmUp, c.horizon = warmUp, horizon
+	c.released, c.completed, c.completedReleased, c.lateCompleted = 0, 0, 0, 0
+	c.resp = c.resp[:0]
+}
+
+// JobReleased records a release. It must be called once per job, in release
+// order (the workload generator's event order), before the job reaches a
+// scheduler. In-window jobs get a response-time slot; jobs whose deadline
+// window extends past the measurement interval are marked out-of-window.
+func (c *Collector) JobReleased(j *rt.Job, now des.Time) {
+	if j.Release < c.warmUp || j.Deadline >= c.horizon {
+		j.MetricsSlot = -1
+		return
+	}
+	j.MetricsSlot = len(c.resp)
+	c.released++
+	c.resp = append(c.resp, math.NaN())
+}
+
+// JobDone implements rt.JobWatcher: it records a completion. Completions
+// inside the window count toward FPS whether or not the job was released
+// inside it (the device was busy with it either way); response times are
+// recorded for in-window released jobs only, into their release-order slot.
+func (c *Collector) JobDone(j *rt.Job, now des.Time) {
+	if now >= c.warmUp && now < c.horizon {
+		c.completed++
+	}
+	if j.MetricsSlot >= 0 {
+		c.completedReleased++
+		if now > j.Deadline {
+			c.lateCompleted++
+		}
+		c.resp[j.MetricsSlot] = j.ResponseTime().Milliseconds()
+	}
+}
+
+// JobDiscarded implements rt.JobWatcher. A discarded in-window job simply
+// never fills its slot: it is counted missed at Summary time, exactly like a
+// job still unfinished at the horizon.
+func (c *Collector) JobDiscarded(j *rt.Job, now des.Time) {}
+
+// Summary folds the counters into the run summary. It may be called once the
+// simulation has run to the horizon; calling it earlier summarises the
+// prefix seen so far.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		WarmUp:    c.warmUp,
+		Horizon:   c.horizon,
+		Released:  c.released,
+		Completed: c.completed,
+		Missed:    c.lateCompleted + (c.released - c.completedReleased),
+	}
+	window := (c.horizon - c.warmUp).Seconds()
+	s.TotalFPS = float64(s.Completed) / window
+	if s.Released > 0 {
+		s.DMR = float64(s.Missed) / float64(s.Released)
+	}
+	resp := c.scratch[:0]
+	for _, r := range c.resp {
+		if !math.IsNaN(r) {
+			resp = append(resp, r)
+		}
+	}
+	c.scratch = resp
+	if len(resp) > 0 {
+		// Mean sums in release order — Evaluate's order. Quantiles read
+		// one sorted copy; sorting yields the same order statistics as
+		// Quantile's internal per-call sort, so the values are
+		// bit-identical to Evaluate's (Quantile delegates to
+		// QuantileSorted).
+		s.RespMeanMS = stats.Mean(resp)
+		sorted := append(c.sorted[:0], resp...)
+		sort.Float64s(sorted)
+		c.sorted = sorted
+		s.RespP50MS = stats.QuantileSorted(sorted, 0.50)
+		s.RespP99MS = stats.QuantileSorted(sorted, 0.99)
+		s.RespMaxMS = stats.QuantileSorted(sorted, 1.0)
+	}
+	return s
+}

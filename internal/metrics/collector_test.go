@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sgprs/internal/des"
+	"sgprs/internal/dnn"
+	"sgprs/internal/rt"
+)
+
+// mkTask builds a profiled 2-stage synthetic task.
+func mkTask(t *testing.T, id int, period des.Time) *rt.Task {
+	t.Helper()
+	g := dnn.TinyCNN(dnn.DefaultCostModel())
+	stages, err := dnn.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := rt.NewTask(id, "t", g, stages, period, period, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.SetWCETs([]des.Time{des.Millisecond, des.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+// replay feeds the jobs' lifecycle into a fresh collector: releases in
+// release order (as the generator would), completions in the order given by
+// perm over the completed jobs. Returns the streaming summary.
+func replay(jobs []*rt.Job, perm []int, warmUp, horizon des.Time) Summary {
+	c := NewCollector(warmUp, horizon)
+	for _, j := range jobs {
+		c.JobReleased(j, j.Release)
+	}
+	for _, i := range perm {
+		j := jobs[i]
+		if j.Done {
+			c.JobDone(j, j.FinishedAt)
+		} else {
+			c.JobDiscarded(j, j.Deadline)
+		}
+	}
+	return c.Summary()
+}
+
+// TestCollectorMatchesEvaluate is the bit-identity test: over a mixed
+// workload (on-time, late, and never-finishing jobs from two interleaved
+// tasks), the streaming summary must equal the batch Evaluate byte for byte —
+// with completions delivered in release order AND in reverse/shuffled order,
+// since the device finishes jobs in neither order in general.
+func TestCollectorMatchesEvaluate(t *testing.T) {
+	pA := des.FromMillis(100)
+	pB := des.FromMillis(130)
+	taskA := mkTask(t, 0, pA)
+	taskB := mkTask(t, 1, pB)
+
+	var jobs []*rt.Job
+	for i := 0; i < 80; i++ {
+		j := taskA.NewJob(i, des.Time(int64(pA)*int64(i)))
+		switch i % 4 {
+		case 0, 1: // on time
+			j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(20)))
+		case 2: // late
+			j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(150)))
+		case 3: // never finishes
+		}
+		jobs = append(jobs, j)
+	}
+	for i := 0; i < 61; i++ {
+		j := taskB.NewJob(i, des.Time(int64(pB)*int64(i)))
+		if i%3 != 0 {
+			j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(float64(40 + 7*(i%11)))))
+		}
+		jobs = append(jobs, j)
+	}
+	// Evaluate walks jobs in release order.
+	byRelease := append([]*rt.Job(nil), jobs...)
+	for i := 1; i < len(byRelease); i++ {
+		for k := i; k > 0 && byRelease[k].Release < byRelease[k-1].Release; k-- {
+			byRelease[k], byRelease[k-1] = byRelease[k-1], byRelease[k]
+		}
+	}
+
+	warmUp, horizon := des.Second, des.FromSeconds(7)
+	want := Evaluate(byRelease, warmUp, horizon)
+
+	inOrder := make([]int, len(byRelease))
+	reversed := make([]int, len(byRelease))
+	for i := range inOrder {
+		inOrder[i] = i
+		reversed[len(reversed)-1-i] = i
+	}
+	shuffled := append([]int(nil), inOrder...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	for name, perm := range map[string][]int{
+		"release-order": inOrder, "reverse-order": reversed, "shuffled": shuffled,
+	} {
+		got := replay(byRelease, perm, warmUp, horizon)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: streaming summary differs from Evaluate:\nwant %+v\ngot  %+v", name, want, got)
+		}
+	}
+}
+
+// TestCollectorWindowing pins the window-edge semantics Evaluate has: warm-up
+// releases count toward FPS but not DMR, and a deadline at or past the
+// horizon keeps a job out of the released count.
+func TestCollectorWindowing(t *testing.T) {
+	period := des.FromMillis(100)
+	task := mkTask(t, 0, period)
+	var jobs []*rt.Job
+	for i := 0; i < 100; i++ {
+		j := task.NewJob(i, des.Time(int64(period)*int64(i)))
+		j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(10)))
+		jobs = append(jobs, j)
+	}
+	warmUp, horizon := des.FromSeconds(2), des.FromSeconds(4)
+	want := Evaluate(jobs, warmUp, horizon)
+	perm := make([]int, len(jobs))
+	for i := range perm {
+		perm[i] = i
+	}
+	got := replay(jobs, perm, warmUp, horizon)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("windowed summary differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got.Released != 19 {
+		t.Errorf("released = %d, want 19", got.Released)
+	}
+}
+
+// TestCollectorResetReuses: a reset collector over a new window must behave
+// like a fresh one and reuse its buffers.
+func TestCollectorResetReuses(t *testing.T) {
+	period := des.FromMillis(100)
+	task := mkTask(t, 0, period)
+	c := NewCollector(des.Second, des.FromSeconds(3))
+	for i := 0; i < 25; i++ {
+		j := task.NewJob(i, des.Time(int64(period)*int64(i)))
+		c.JobReleased(j, j.Release)
+		j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(10)))
+		c.JobDone(j, j.FinishedAt)
+	}
+	first := c.Summary()
+
+	c.Reset(des.Second, des.FromSeconds(3))
+	for i := 0; i < 25; i++ {
+		j := task.NewJob(i, des.Time(int64(period)*int64(i)))
+		c.JobReleased(j, j.Release)
+		j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(10)))
+		c.JobDone(j, j.FinishedAt)
+	}
+	if second := c.Summary(); !reflect.DeepEqual(first, second) {
+		t.Errorf("summary after Reset differs:\nfirst  %+v\nsecond %+v", first, second)
+	}
+}
+
+// TestCollectorPanicsOnBadWindow mirrors Evaluate's contract.
+func TestCollectorPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad window did not panic")
+		}
+	}()
+	NewCollector(des.Second, des.Second)
+}

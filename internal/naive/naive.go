@@ -158,8 +158,12 @@ func (s *Scheduler) OnRelease(job *rt.Job, now des.Time) {
 		}
 		shares = scaled
 	}
+	label := "job"
+	if s.dev.HasObserver() {
+		label = job.Label()
+	}
 	k := &gpu.Kernel{
-		Label:   job.Label(),
+		Label:   label,
 		Shares:  shares,
 		FixedMS: fixed,
 		OnStart: func(t des.Time) {

@@ -25,6 +25,36 @@ type Job struct {
 
 	FinishedAt des.Time
 	Done       bool
+
+	// Watcher, when non-nil, observes the job's end of life: completion
+	// (fired by MarkFinished of the last stage) and abandonment (fired by
+	// Discard). The workload generator installs itself here to stream
+	// metrics and recycle finished jobs without retaining them.
+	Watcher JobWatcher
+
+	// MetricsSlot is the streaming metrics collector's released-order
+	// index for this job, or -1 when the job lies outside the measurement
+	// window. Owned by metrics.Collector; everything else treats it as
+	// opaque.
+	MetricsSlot int
+
+	// pooled marks a job that currently sits in a JobPool free list; a
+	// second Put before the next Get is a use-after-recycle bug.
+	pooled bool
+}
+
+// JobWatcher observes the two ways a job's lifecycle can end. Callbacks run
+// synchronously on the simulation goroutine, from inside the scheduler's own
+// call stack: a watcher may record the job and hand it to a JobPool (deferred
+// reuse keeps the fields readable until the next release), but must not
+// mutate it.
+type JobWatcher interface {
+	// JobDone fires exactly once, when the job's final stage finishes.
+	JobDone(j *Job, now des.Time)
+	// JobDiscarded fires when a scheduler permanently abandons an
+	// unfinished job (a dropped or replaced frame); the job will never
+	// complete and no further callback follows.
+	JobDiscarded(j *Job, now des.Time)
 }
 
 // StageJob is one stage instance τᵢʲ of a job, the unit the online scheduler
@@ -50,27 +80,46 @@ type StageJob struct {
 // stage's deadline coincides with the job deadline. The task must have been
 // profiled first.
 func (t *Task) NewJob(index int, release des.Time) *Job {
+	j := &Job{}
+	t.initJob(j, index, release)
+	return j
+}
+
+// initJob (re)initialises j as instance index of the task, reusing j's Stages
+// slice and StageJob structs when their capacity allows — the JobPool's reuse
+// path. Every field of the job and of each stage is written, so a recycled
+// job is indistinguishable from a freshly allocated one.
+func (t *Task) initJob(j *Job, index int, release des.Time) {
 	if !t.Profiled() {
 		panic(fmt.Sprintf("rt: NewJob on unprofiled task %s", t))
 	}
-	j := &Job{
-		Task:      t,
-		Index:     index,
-		Release:   release,
-		Deadline:  release.Add(t.Deadline),
-		WorkScale: 1,
+	old := j.Stages[:cap(j.Stages)]
+	*j = Job{
+		Task:        t,
+		Index:       index,
+		Release:     release,
+		Deadline:    release.Add(t.Deadline),
+		WorkScale:   1,
+		MetricsSlot: -1,
+		Stages:      old[:0],
 	}
 	var cum des.Time
 	for s := range t.Stages {
 		cum += t.virtualDls[s]
-		j.Stages = append(j.Stages, &StageJob{
+		var sj *StageJob
+		if s < len(old) && old[s] != nil {
+			sj = old[s]
+		} else {
+			sj = &StageJob{}
+		}
+		*sj = StageJob{
 			Job:      j,
 			Index:    s,
 			Deadline: release.Add(cum),
 			Level:    t.StageLevel(s),
-		})
+		}
+		j.Stages = append(j.Stages, sj)
 	}
-	return j
 }
 
 // MarkReady records that the stage's predecessor finished (or, for stage 0,
@@ -86,13 +135,30 @@ func (s *StageJob) MarkStarted(now des.Time) {
 	s.StartedAt = now
 }
 
-// MarkFinished records completion; for the last stage it completes the job.
+// MarkFinished records completion; for the last stage it completes the job
+// and notifies the job's watcher.
 func (s *StageJob) MarkFinished(now des.Time) {
 	s.Finished = true
 	s.FinishedAt = now
 	if s.Index == len(s.Job.Stages)-1 {
-		s.Job.Done = true
-		s.Job.FinishedAt = now
+		j := s.Job
+		j.Done = true
+		j.FinishedAt = now
+		if j.Watcher != nil {
+			j.Watcher.JobDone(j, now)
+		}
+	}
+}
+
+// Discard notifies the job's watcher that the scheduler has permanently
+// abandoned this unfinished job — a dropped or replaced frame that will
+// never complete. Discarding a completed job is a scheduler bug.
+func (j *Job) Discard(now des.Time) {
+	if j.Done {
+		panic(fmt.Sprintf("rt: discard of completed job %s", j))
+	}
+	if j.Watcher != nil {
+		j.Watcher.JobDiscarded(j, now)
 	}
 }
 

@@ -1,0 +1,165 @@
+package rt
+
+import (
+	"testing"
+
+	"sgprs/internal/des"
+)
+
+// profiledTask builds a profiled 3-stage task for pool tests.
+func profiledTask(t *testing.T, id int) *Task {
+	t.Helper()
+	task := testTask(t, 3)
+	task.ID = id
+	wcets := []des.Time{des.FromMillis(2), des.FromMillis(3), des.FromMillis(1)}
+	if err := task.SetWCETs(wcets); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+// TestPoolReuseMatchesFreshJob: a job from the reuse path must be field-for-
+// field identical to a freshly allocated one, including every stage.
+func TestPoolReuseMatchesFreshJob(t *testing.T) {
+	task := profiledTask(t, 0)
+	var p JobPool
+
+	old := p.Get(task, 0, des.FromMillis(10))
+	// Dirty every mutable field the online phase touches.
+	old.WorkScale = 1.7
+	old.MetricsSlot = 42
+	for _, st := range old.Stages {
+		st.MarkReady(des.FromMillis(11))
+		st.MarkStarted(des.FromMillis(12))
+		st.Level = LevelMedium
+	}
+	old.Stages[len(old.Stages)-1].MarkFinished(des.FromMillis(20))
+	p.Put(old)
+
+	got := p.Get(task, 7, des.FromMillis(50))
+	if got != old {
+		t.Fatal("pool did not hand back the recycled job struct")
+	}
+	want := task.NewJob(7, des.FromMillis(50))
+	if got.Task != want.Task || got.Index != want.Index || got.Release != want.Release ||
+		got.Deadline != want.Deadline || got.WorkScale != want.WorkScale ||
+		got.Done || got.FinishedAt != 0 || got.MetricsSlot != -1 || got.Watcher != nil {
+		t.Fatalf("recycled job not reinitialised: %+v", got)
+	}
+	if len(got.Stages) != len(want.Stages) {
+		t.Fatalf("recycled job has %d stages, want %d", len(got.Stages), len(want.Stages))
+	}
+	for s := range got.Stages {
+		g, w := got.Stages[s], want.Stages[s]
+		if g.Job != got || g.Index != w.Index || g.Deadline != w.Deadline || g.Level != w.Level ||
+			g.Ready || g.Started || g.Finished || g.ReadyAt != 0 || g.StartedAt != 0 || g.FinishedAt != 0 {
+			t.Fatalf("recycled stage %d not reinitialised: %+v", s, g)
+		}
+	}
+}
+
+// TestPoolDoubleRecyclePanics: putting a job twice before reuse is the
+// use-after-recycle bug the pool must surface loudly.
+func TestPoolDoubleRecyclePanics(t *testing.T) {
+	task := profiledTask(t, 0)
+	var p JobPool
+	j := p.Get(task, 0, 0)
+	p.Put(j)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(j)
+}
+
+// countingWatcher records lifecycle callbacks per (task, index) identity.
+type countingWatcher struct {
+	done      map[[2]int]int
+	discarded int
+	pool      *JobPool
+}
+
+func (w *countingWatcher) JobDone(j *Job, now des.Time) {
+	if w.done == nil {
+		w.done = map[[2]int]int{}
+	}
+	w.done[[2]int{j.Task.ID, j.Index}]++
+	if w.pool != nil {
+		w.pool.Put(j)
+	}
+}
+
+func (w *countingWatcher) JobDiscarded(j *Job, now des.Time) {
+	w.discarded++
+	if w.pool != nil {
+		w.pool.Put(j)
+	}
+}
+
+// TestRecycledJobCannotCorruptLiveJob is the metrics-safety test: after a
+// finished job is recorded and recycled, its struct's next occupant carries
+// fresh identity and a live lifecycle, and completing the new occupant can
+// never re-fire the old occupant's completion. The recycled struct's slate
+// (slot, watcher, flags) is wiped before the new job is visible to anyone.
+func TestRecycledJobCannotCorruptLiveJob(t *testing.T) {
+	task := profiledTask(t, 3)
+	var p JobPool
+	w := &countingWatcher{pool: &p}
+
+	a := p.Get(task, 0, 0)
+	a.Watcher = w
+	a.MetricsSlot = 0
+	for _, st := range a.Stages {
+		st.MarkFinished(des.FromMillis(5)) // last stage fires JobDone → Put
+	}
+	if w.done[[2]int{3, 0}] != 1 {
+		t.Fatalf("job a completed %d times, want 1", w.done[[2]int{3, 0}])
+	}
+	if p.Len() != 1 {
+		t.Fatalf("pool holds %d jobs after completion, want 1", p.Len())
+	}
+
+	// b reuses a's struct. Its slot and watcher must start clean, so a
+	// collector that assigned slot 0 to a can never see b under a's slot.
+	b := p.Get(task, 1, des.FromMillis(40))
+	if b != a {
+		t.Fatal("pool did not reuse the recycled struct")
+	}
+	if b.MetricsSlot != -1 || b.Watcher != nil || b.Done {
+		t.Fatalf("recycled struct leaked state into new job: slot=%d watcher=%v done=%v",
+			b.MetricsSlot, b.Watcher, b.Done)
+	}
+	b.Watcher = w
+	b.MetricsSlot = 1
+	for _, st := range b.Stages {
+		st.MarkFinished(des.FromMillis(45))
+	}
+	if w.done[[2]int{3, 0}] != 1 || w.done[[2]int{3, 1}] != 1 {
+		t.Fatalf("completion counts corrupted: %v", w.done)
+	}
+}
+
+// TestDiscardNotifiesWatcherOnce: discarding an unfinished job fires
+// JobDiscarded (recycling it), and discarding a done job panics.
+func TestDiscardNotifiesWatcherOnce(t *testing.T) {
+	task := profiledTask(t, 0)
+	var p JobPool
+	w := &countingWatcher{pool: &p}
+
+	j := p.Get(task, 0, 0)
+	j.Watcher = w
+	j.Discard(des.FromMillis(1))
+	if w.discarded != 1 || p.Len() != 1 {
+		t.Fatalf("discard: %d callbacks, %d pooled; want 1 and 1", w.discarded, p.Len())
+	}
+
+	done := task.NewJob(1, 0)
+	done.Stages[len(done.Stages)-1].MarkFinished(des.FromMillis(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Discard of a completed job did not panic")
+		}
+	}()
+	done.Discard(des.FromMillis(3))
+}

@@ -162,13 +162,20 @@ func Run(jobs []Job, opt Options) []JobResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one long-lived run session: engine,
+			// device, job pool, and task structures are reused across
+			// every job the worker drains. Session reuse is
+			// bit-identical to fresh runs (sim's session-equivalence
+			// tests pin it), so this changes wall-clock and
+			// allocation, never results.
+			sess := sim.NewSession(cache)
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= total {
 					return
 				}
 				r := JobResult{Job: jobs[i], Index: i}
-				res, err := sim.RunWith(jobs[i].Config, cache)
+				res, err := sess.Run(jobs[i].Config)
 				if err != nil {
 					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: err}
 				} else {

@@ -185,7 +185,22 @@ func Run(cfg RunConfig) (Result, error) {
 // memoization entirely: the reference graph is rebuilt and every task
 // profiled from scratch — the reference code path the cached one is tested
 // against.
+//
+// Metrics stream through a metrics.Collector and jobs recycle through an
+// rt.JobPool as the run progresses (via an ephemeral Session), so live
+// memory is O(in-flight jobs) whatever the horizon. runBatch keeps the
+// retain-everything/Evaluate reference path; the streaming-equivalence tests
+// pin the two bit-identical.
 func RunWith(cfg RunConfig, cache *memo.Cache) (Result, error) {
+	return NewSession(cache).Run(cfg)
+}
+
+// runBatch is the post-hoc reference implementation of RunWith: every
+// released job is retained and metrics.Evaluate scans them after the run.
+// It allocates O(all jobs ever released) and exists as the semantic anchor
+// the streaming path (Session.Run) is tested against — change the two
+// together or the equivalence tests will say so.
+func runBatch(cfg RunConfig, cache *memo.Cache) (Result, error) {
 	if err := cfg.Normalize(); err != nil {
 		return Result{}, err
 	}
@@ -361,13 +376,19 @@ func SweepSeries(base RunConfig, taskCounts []int) ([]metrics.Point, error) {
 }
 
 // SweepSeriesWith is SweepSeries with an explicit offline-phase cache (nil
-// disables memoization).
+// disables memoization). The whole sweep shares one Session, so engine,
+// device, job pool, and task structures are reused across points.
 func SweepSeriesWith(base RunConfig, taskCounts []int, cache *memo.Cache) ([]metrics.Point, error) {
+	return sweepSeriesOn(NewSession(cache), base, taskCounts)
+}
+
+// sweepSeriesOn runs one variant's sweep on an existing session.
+func sweepSeriesOn(sess *Session, base RunConfig, taskCounts []int) ([]metrics.Point, error) {
 	series := make([]metrics.Point, 0, len(taskCounts))
 	for _, n := range taskCounts {
 		cfg := base
 		cfg.NumTasks = n
-		res, err := RunWith(cfg, cache)
+		res, err := sess.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: sweep %s n=%d: %w", base.Name, n, err)
 		}
@@ -392,7 +413,8 @@ func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64
 }
 
 // RunScenarioWith is RunScenario with an explicit offline-phase cache (nil
-// disables memoization).
+// disables memoization). One Session carries the entire variant × task-count
+// grid.
 func RunScenarioWith(scenario int, taskCounts []int, horizonSec float64, seed uint64, cache *memo.Cache) (*ScenarioRun, error) {
 	np, err := ScenarioContexts(scenario)
 	if err != nil {
@@ -403,6 +425,7 @@ func RunScenarioWith(scenario int, taskCounts []int, horizonSec float64, seed ui
 		TaskCounts: taskCounts,
 		Series:     map[string][]metrics.Point{},
 	}
+	sess := NewSession(cache)
 	for _, v := range ScenarioVariants() {
 		base := RunConfig{
 			Kind:       v.Kind,
@@ -412,7 +435,7 @@ func RunScenarioWith(scenario int, taskCounts []int, horizonSec float64, seed ui
 			Seed:       seed,
 			NumTasks:   1, // overwritten by the sweep
 		}
-		series, err := SweepSeriesWith(base, taskCounts, cache)
+		series, err := sweepSeriesOn(sess, base, taskCounts)
 		if err != nil {
 			return nil, err
 		}

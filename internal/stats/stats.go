@@ -58,14 +58,22 @@ func (o *Online) Max() float64 { return o.max }
 // between order statistics. It panics on an empty slice or out-of-range q —
 // both are caller bugs, not data conditions.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for input already in ascending order: callers
+// that need several quantiles of one sample sort once and read many, instead
+// of paying Quantile's copy-and-sort per call. Same interpolation, same
+// panics — Quantile delegates here, so the two cannot drift.
+func QuantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
 		panic("stats: quantile of empty slice")
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	if len(s) == 1 {
 		return s[0]
 	}

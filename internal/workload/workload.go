@@ -39,13 +39,20 @@ type TaskSpec struct {
 // Identical returns n copies of one spec, optionally staggering release
 // offsets evenly across the period (stagger=false reproduces the paper's
 // synchronous releases — the worst case for contention).
+//
+// A non-positive FPS cannot yield a period, so staggered offsets are only
+// derived when the rate is valid; the invalid spec itself flows through
+// unchanged for Build to reject with a proper error (rather than an Inf/NaN
+// period corrupting the offsets here, before validation ever runs).
 func Identical(n int, spec TaskSpec, stagger bool) []TaskSpec {
 	out := make([]TaskSpec, n)
-	period := des.FromSeconds(1 / spec.FPS)
 	for i := range out {
 		out[i] = spec
 		out[i].Name = fmt.Sprintf("%s-%d", spec.Name, i)
-		if stagger {
+	}
+	if stagger && spec.FPS > 0 {
+		period := des.FromSeconds(1 / spec.FPS)
+		for i := range out {
 			out[i].Offset = des.Time(int64(period) * int64(i) / int64(n))
 		}
 	}
@@ -111,14 +118,30 @@ func Build(specs []TaskSpec) ([]*rt.Task, error) {
 	return tasks, nil
 }
 
-// Generator schedules periodic releases on an engine and records every job.
-// Release jitter and per-job work variation draw from a seeded stream forked
-// per task, so adding a task never perturbs another task's draws.
+// JobSink consumes the streaming job lifecycle: one JobReleased per job, in
+// release order, followed by exactly one of the rt.JobWatcher callbacks
+// (JobDone or JobDiscarded). metrics.Collector is the canonical sink.
+type JobSink interface {
+	JobReleased(j *rt.Job, now des.Time)
+	rt.JobWatcher
+}
+
+// Generator schedules periodic releases on an engine. Release jitter and
+// per-job work variation draw from a seeded stream forked per task, so
+// adding a task never perturbs another task's draws.
+//
+// By default every released job is retained for a post-hoc metrics.Evaluate
+// scan — the reference batch path. Attaching a JobSink (SetSink) switches
+// the generator to streaming delivery, and attaching an rt.JobPool (UsePool)
+// recycles each job the moment its lifecycle ends; in either mode nothing
+// is retained and live memory stays O(in-flight jobs).
 type Generator struct {
 	eng   *des.Engine
 	sched sched.Scheduler
 	rng   *des.RNG
 	jobs  []*rt.Job
+	sink  JobSink
+	pool  *rt.JobPool
 }
 
 // NewGenerator wires a generator to the engine and scheduler. The seed feeds
@@ -133,8 +156,47 @@ func NewGeneratorSeeded(eng *des.Engine, s sched.Scheduler, seed uint64) *Genera
 	return &Generator{eng: eng, sched: s, rng: des.NewRNG(seed).Fork(0x30B5)}
 }
 
-// Jobs lists every job released so far, in release order.
-func (g *Generator) Jobs() []*rt.Job { return g.jobs }
+// SetSink streams the job lifecycle to s instead of retaining jobs: Jobs
+// returns nothing once a sink is attached. Must be called before Start.
+func (g *Generator) SetSink(s JobSink) { g.sink = s }
+
+// UsePool recycles every job through p as soon as it completes or is
+// discarded (and stops retaining jobs, like SetSink). Must be called before
+// Start.
+func (g *Generator) UsePool(p *rt.JobPool) { g.pool = p }
+
+// Jobs lists every job released so far, in release order, as a fresh slice
+// the caller may keep or mutate. It is empty when a sink or pool is
+// attached — streamed jobs are not retained (and pooled ones get recycled).
+func (g *Generator) Jobs() []*rt.Job {
+	if len(g.jobs) == 0 {
+		return nil
+	}
+	return append([]*rt.Job(nil), g.jobs...)
+}
+
+// JobDone implements rt.JobWatcher: it forwards the completion to the sink,
+// then hands the job to the pool. Ordering matters — the sink must record
+// the job before the pool may reuse its struct.
+func (g *Generator) JobDone(j *rt.Job, now des.Time) {
+	if g.sink != nil {
+		g.sink.JobDone(j, now)
+	}
+	if g.pool != nil {
+		g.pool.Put(j)
+	}
+}
+
+// JobDiscarded implements rt.JobWatcher for abandoned (dropped/replaced)
+// frames; see JobDone.
+func (g *Generator) JobDiscarded(j *rt.Job, now des.Time) {
+	if g.sink != nil {
+		g.sink.JobDiscarded(j, now)
+	}
+	if g.pool != nil {
+		g.pool.Put(j)
+	}
+}
 
 // Start schedules all releases of the task set up to the horizon. Releases
 // exactly at the horizon are excluded (their deadline would extend past the
@@ -164,14 +226,26 @@ func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
 			g.eng.ScheduleFunc(at, label, fire)
 		}
 		fire = func(now des.Time) {
-			job := t.NewJob(idx, now)
+			var job *rt.Job
+			if g.pool != nil {
+				job = g.pool.Get(t, idx, now)
+			} else {
+				job = t.NewJob(idx, now)
+			}
 			if t.WorkVariation > 0 {
 				job.WorkScale = rng.TruncNormal(
 					1, t.WorkVariation,
 					math.Max(0.5, 1-2*t.WorkVariation),
 					1+3*t.WorkVariation)
 			}
-			g.jobs = append(g.jobs, job)
+			if g.sink != nil || g.pool != nil {
+				job.Watcher = g
+			} else {
+				g.jobs = append(g.jobs, job)
+			}
+			if g.sink != nil {
+				g.sink.JobReleased(job, now)
+			}
 			g.sched.OnRelease(job, now)
 			idx++
 			scheduleNext()

@@ -248,6 +248,115 @@ func TestWorkVariationStampsJobs(t *testing.T) {
 	}
 }
 
+// TestIdenticalRejectsInvalidFPSLater: Identical must not derive Inf/NaN
+// periods from a non-positive FPS (the old 1/FPS-before-validation bug);
+// the invalid spec flows through for Build to reject cleanly.
+func TestIdenticalRejectsInvalidFPSLater(t *testing.T) {
+	for _, fps := range []float64{0, -30} {
+		sp := specResNet()
+		sp.FPS = fps
+		specs := Identical(3, sp, true) // stagger forces the period path
+		for i, got := range specs {
+			if got.Offset != 0 {
+				t.Errorf("fps=%v: spec %d has offset %v from an invalid period", fps, i, got.Offset)
+			}
+		}
+		if _, err := Build(specs); err == nil {
+			t.Errorf("fps=%v: Build accepted invalid rate", fps)
+		}
+	}
+}
+
+// TestJobsReturnsCopy: mutating the returned slice must not corrupt the
+// generator's internal record.
+func TestJobsReturnsCopy(t *testing.T) {
+	tasks, err := Build(Identical(1, specResNet(), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcets := make([]des.Time, tasks[0].NumStages())
+	for i := range wcets {
+		wcets[i] = des.Millisecond
+	}
+	tasks[0].SetWCETs(wcets)
+	eng := des.NewEngine()
+	gen := NewGenerator(eng, &genRecorder{})
+	gen.Start(tasks, des.FromSeconds(0.2))
+	eng.RunUntil(des.FromSeconds(0.2))
+
+	jobs := gen.Jobs()
+	if len(jobs) == 0 {
+		t.Fatal("no jobs released")
+	}
+	jobs[0] = nil
+	if again := gen.Jobs(); again[0] == nil {
+		t.Error("Jobs aliases the generator's internal slice")
+	}
+}
+
+// sinkRecorder counts the streamed lifecycle.
+type sinkRecorder struct {
+	released, done, discarded int
+}
+
+func (s *sinkRecorder) JobReleased(j *rt.Job, now des.Time) { s.released++ }
+func (s *sinkRecorder) JobDone(j *rt.Job, now des.Time)     { s.done++ }
+func (s *sinkRecorder) JobDiscarded(j *rt.Job, now des.Time) {
+	s.discarded++
+}
+
+// completingSched finishes every job's stages at release time — the
+// simplest scheduler that drives the full streamed lifecycle.
+type completingSched struct{}
+
+func (completingSched) Name() string                                      { return "completing" }
+func (completingSched) Attach(*des.Engine, *gpu.Device, []*rt.Task) error { return nil }
+func (completingSched) OnRelease(j *rt.Job, now des.Time) {
+	for _, st := range j.Stages {
+		st.MarkFinished(now)
+	}
+}
+
+// TestGeneratorStreamsAndRecycles: with a sink and pool attached the
+// generator retains nothing, streams every release and completion, and
+// recycles jobs through a pool bounded by the in-flight count (1 here —
+// each job completes before the next release).
+func TestGeneratorStreamsAndRecycles(t *testing.T) {
+	tasks, err := Build(Identical(2, specResNet(), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		wcets := make([]des.Time, task.NumStages())
+		for i := range wcets {
+			wcets[i] = des.Millisecond
+		}
+		task.SetWCETs(wcets)
+	}
+	eng := des.NewEngine()
+	gen := NewGenerator(eng, completingSched{})
+	sink := &sinkRecorder{}
+	var pool rt.JobPool
+	gen.SetSink(sink)
+	gen.UsePool(&pool)
+	horizon := des.FromSeconds(1)
+	gen.Start(tasks, horizon)
+	eng.RunUntil(horizon)
+
+	if sink.released != 62 || sink.done != 62 || sink.discarded != 0 {
+		t.Errorf("streamed %d released / %d done / %d discarded, want 62/62/0",
+			sink.released, sink.done, sink.discarded)
+	}
+	if got := gen.Jobs(); got != nil {
+		t.Errorf("streaming generator retained %d jobs", len(got))
+	}
+	// Every job completed synchronously at release, so the pool never
+	// holds more than the two structs (one per task) in steady state.
+	if pool.Len() > 2 {
+		t.Errorf("pool grew to %d jobs; want ≤ 2 (O(in-flight), not O(released))", pool.Len())
+	}
+}
+
 func TestBuildRejectsBadJitter(t *testing.T) {
 	sp := specResNet()
 	sp.ReleaseJitter = des.FromSeconds(1) // ≥ period

@@ -26,6 +26,12 @@
 // deterministic worker pool (internal/runner): results are bit-identical to
 // a sequential execution for any worker count. See SweepOptions.
 //
+// Metrics stream as the simulation runs and finished jobs are recycled, so a
+// run's live memory is proportional to in-flight work, not horizon length —
+// hour-long stability horizons cost the same heap as two-second smokes. Use
+// a Session to amortise engine/device/task setup across many runs; every
+// sweep worker gets one automatically.
+//
 // Quick start:
 //
 //	res, err := sgprs.Run(sgprs.RunConfig{
@@ -104,6 +110,21 @@ func NewOfflineCache() *OfflineCache { return memo.New() }
 // DefaultOfflineCache returns the process-wide cache used by Run and the
 // sweep drivers; DefaultOfflineCache().Stats() reports its traffic.
 func DefaultOfflineCache() *OfflineCache { return memo.Default() }
+
+// Session executes simulation runs over reused infrastructure — engine,
+// device, job pool, task structures — so a sequence of runs (a sweep, a
+// parameter search, a long measurement campaign) pays setup once instead of
+// per run, and live memory stays O(in-flight jobs) whatever the horizon.
+// Results are bit-identical to fresh Run calls. A Session is
+// single-threaded; the sweep drivers give each pool worker its own.
+type Session = sim.Session
+
+// NewSession returns a run session backed by the process-wide offline cache.
+func NewSession() *Session { return sim.NewSession(memo.Default()) }
+
+// NewSessionWith is NewSession with an explicit offline cache (nil disables
+// offline-phase memoization).
+func NewSessionWith(cache *OfflineCache) *Session { return sim.NewSession(cache) }
 
 // Run executes one simulation and returns its metrics. The offline phase is
 // served from the default cache; results are bit-identical to an uncached

@@ -26,6 +26,31 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+// TestFacadeSession: repeated runs through one Session must match one-shot
+// Run calls exactly — the documented reuse contract.
+func TestFacadeSession(t *testing.T) {
+	cfg := sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
+		ContextSMs: []int{34, 34},
+		NumTasks:   4,
+		HorizonSec: 2,
+	}
+	want, err := sgprs.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sgprs.NewSession()
+	for i := 0; i < 3; i++ {
+		got, err := sess.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("session run %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
 func TestFacadeSweepAndPivot(t *testing.T) {
 	series, err := sgprs.SweepSeries(sgprs.RunConfig{
 		Kind:       sgprs.KindSGPRS,
