@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-long lint ci
+.PHONY: build test race bench bench-json bench-long lint experiments examples ci
 
 build:
 	$(GO) build ./...
@@ -40,4 +40,16 @@ lint:
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-ci: lint build race bench
+## experiments: enumerate the declarative experiment registry (name,
+## shape, description) via the sweep CLI.
+experiments:
+	$(GO) run ./cmd/sgprs-sweep -list
+
+## examples: build every example, then smoke-run the quickstart and the
+## registry-driven experiment example (the CI examples gate).
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/registry
+
+ci: lint build race examples bench

@@ -4,22 +4,32 @@
 // shares the offline cache with the direct profile below and reuses one run
 // session per worker (streaming metrics, recycled jobs).
 //
+// Instead of hand-typed flags, -experiment <name> pulls the workload shape
+// (frame rate, stages, context pool, peak task count) from a registered
+// experiment's first SGPRS variant; -list enumerates the registry.
+//
 // Usage:
 //
 //	sgprs-analyze [-n 24] [-fps 30] [-stages 6] [-contexts 34,34] [-verify] [-jobs N]
+//	sgprs-analyze -experiment oversubscription [-verify]
+//	sgprs-analyze -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"sgprs/internal/analysis"
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
+	"sgprs/internal/exp"
 	"sgprs/internal/gpu"
 	"sgprs/internal/memo"
 	"sgprs/internal/profile"
@@ -35,10 +45,28 @@ func main() {
 	fps := flag.Float64("fps", 30, "per-task frame rate")
 	stages := flag.Int("stages", 6, "stages per task")
 	contexts := flag.String("contexts", "34,34", "context pool (for the verification run)")
+	experiment := flag.String("experiment", "", "take the workload shape from a registered experiment (see -list)")
+	list := flag.Bool("list", false, "list the experiment registry and exit")
 	verify := flag.Bool("verify", false, "run a simulation sweep around the predicted pivot")
 	jobs := flag.Int("jobs", 0, "parallel workers for the verification sweep (0 = all CPUs)")
 	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization")
 	flag.Parse()
+
+	if *list {
+		for _, s := range exp.List() {
+			fmt.Printf("%-18s %-34s %s\n", s.Name, exp.Summarize(s), s.Description)
+		}
+		return
+	}
+	pool, err := parsePool(*contexts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *experiment != "" {
+		if pool, err = fromExperiment(*experiment, n, fps, stages); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// sim.DefaultModel (not a fresh speedup.DefaultModel) so the direct
 	// profile below and the verification sweep share cache entries: the
@@ -52,10 +80,6 @@ func main() {
 	}
 	period := des.FromSeconds(1 / *fps)
 	task, err := rt.NewTask(0, "resnet18", g, parts, period, period, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pool, err := parsePool(*contexts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,8 +116,10 @@ func main() {
 		return
 	}
 	fmt.Println("\nverification sweep (4 s simulated per point):")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	counts := []int{pivot - 2, pivot, pivot + 2}
-	series, runErr := runner.SweepSeries(sim.RunConfig{
+	series, runErr := runner.SweepSeries(ctx, sim.RunConfig{
 		Kind:       sim.KindSGPRS,
 		Name:       "sgprs",
 		ContextSMs: pool,
@@ -114,6 +140,42 @@ func main() {
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// fromExperiment resolves the analysis inputs from a registered
+// experiment: the first SGPRS variant supplies frame rate, stage count,
+// and context pool, and the task axis's largest value becomes the analyzed
+// task count — so the analysis answers "is this experiment's heaviest
+// point schedulable?".
+func fromExperiment(name string, n *int, fps *float64, stages *int) ([]int, error) {
+	spec, ok := exp.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (registered: %s)", name, strings.Join(exp.Names(), ", "))
+	}
+	for _, v := range spec.Variants {
+		if v.Kind != sim.KindSGPRS || len(v.ContextSMs) == 0 {
+			continue
+		}
+		if v.FPS > 0 {
+			*fps = v.FPS
+		}
+		if v.Stages > 0 {
+			*stages = v.Stages
+		}
+		*n = v.NumTasks
+		for _, a := range spec.Axes {
+			if a.Kind == exp.AxisTasks {
+				for _, c := range a.Values {
+					if int(c) > *n {
+						*n = int(c)
+					}
+				}
+			}
+		}
+		fmt.Printf("experiment %q: analyzing variant %q at its peak load (%d tasks)\n\n", name, v.Name, *n)
+		return append([]int(nil), v.ContextSMs...), nil
+	}
+	return nil, fmt.Errorf("experiment %q has no SGPRS variant with a context pool", name)
 }
 
 func parsePool(s string) ([]int, error) {

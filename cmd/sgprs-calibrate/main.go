@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sgprs/internal/gpu"
 	"sgprs/internal/metrics"
@@ -80,7 +83,9 @@ func main() {
 	// gain cap under calibration cannot affect an isolated single-kernel
 	// measurement, so it is excluded from the profile key and every cap
 	// row shares the same profiled task shape.
-	grid, order, gridErr := runner.SweepGrid(bases, counts, runner.Options{Jobs: *jobs, NoOfflineCache: *noCache})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	grid, order, gridErr := runner.SweepGrid(ctx, bases, counts, runner.Options{Jobs: *jobs, NoOfflineCache: *noCache})
 	if gridErr != nil {
 		log.Print(gridErr)
 	}

@@ -1,13 +1,14 @@
-// Command sgprs-sweep regenerates the paper's Figures 3 and 4: total FPS and
-// deadline miss rate versus task count, for the naive baseline and SGPRS at
-// over-subscription levels 1.0/1.5/2.0, in Scenario 1 (two contexts) or
-// Scenario 2 (three contexts).
+// Command sgprs-sweep runs declarative experiments: the paper's Figures 3
+// and 4 scenario sweeps, any experiment in the process-wide registry
+// (-experiment, enumerate with -list), or a JSON experiment file (-config).
 //
 // Runs fan out across a worker pool (-jobs, default all CPUs); results are
 // bit-identical to a sequential run for any worker count. A failing point
 // is reported with its (variant, task count) on stderr and the sweep keeps
 // going: every finished point is still printed, and the exit status is
-// non-zero.
+// non-zero. Interrupting the sweep (Ctrl-C) cancels cleanly: in-flight
+// points drain, finished points print, undispatched points are attributed
+// to the cancellation.
 //
 // The offline phase (graph calibration, WCET profiling) is memoized across
 // the sweep's runs — bit-identical to re-profiling, just not redundant.
@@ -18,29 +19,37 @@
 //
 // Usage:
 //
+//	sgprs-sweep -list
+//	sgprs-sweep -experiment jitter-ladder [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
 //	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
 //	sgprs-sweep -config experiment.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"text/tabwriter"
 
 	"sgprs/internal/config"
+	"sgprs/internal/exp"
 	"sgprs/internal/memo"
 	"sgprs/internal/report"
 	"sgprs/internal/runner"
-	"sgprs/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sgprs-sweep: ")
 	scenario := flag.Int("scenario", 1, "paper scenario: 1 (two contexts) or 2 (three contexts)")
+	experiment := flag.String("experiment", "", "run a registered experiment by name (see -list)")
+	list := flag.Bool("list", false, "list the experiment registry and exit")
 	tasks := flag.String("tasks", "1..30", "task counts: \"a..b\" range or comma-separated list")
 	horizon := flag.Float64("horizon", 10, "simulated seconds per point")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -52,6 +61,18 @@ func main() {
 	cacheStats := flag.Bool("offline-stats", false, "report offline-cache hit/miss counts on stderr")
 	flag.Parse()
 
+	if *list {
+		if err := writeRegistry(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Ctrl-C / SIGTERM cancels the sweep: no new points are dispatched,
+	// in-flight points drain, and everything finished still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opt := runner.Options{Jobs: *jobs, NoOfflineCache: *noCache}
 	if *progress {
 		opt.Progress = func(done, total int, r runner.JobResult) {
@@ -59,39 +80,34 @@ func main() {
 		}
 	}
 
-	var scen *report.Scenario
-	var runErr error
-	if *cfgPath != "" {
-		scen, runErr = runFromConfig(*cfgPath, opt)
-	} else {
-		counts, err := parseCounts(*tasks)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var run *sim.ScenarioRun
-		run, runErr = runner.RunScenario(*scenario, counts, *horizon, *seed, opt)
-		if run != nil {
-			np, _ := sim.ScenarioContexts(*scenario)
-			scen = &report.Scenario{
-				Title:      fmt.Sprintf("Scenario %d (%d contexts) — Figures %da/%db analogue", *scenario, np, *scenario+2, *scenario+2),
-				TaskCounts: run.TaskCounts,
-				Series:     run.Series,
-				Order:      run.Order,
-			}
-		}
+	spec, err := resolveSpec(*cfgPath, *experiment, *scenario, *tasks, *horizon, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-	// Per-job failures are surfaced but never discard finished points.
+
+	rs, runErr := exp.Run(ctx, spec, opt)
+	// Per-job failures (and cancellation) are surfaced but never discard
+	// finished points.
 	if runErr != nil {
 		log.Print(runErr)
 	}
 	if *cacheStats {
 		log.Print(memo.Default().Stats())
 	}
-	if scen == nil {
+	if rs == nil {
 		os.Exit(1)
 	}
 
-	var err error
+	title := spec.Name
+	if spec.Description != "" {
+		title += " — " + spec.Description
+	}
+	scen := &report.Scenario{
+		Title:      title,
+		TaskCounts: rs.TaskCounts,
+		Series:     rs.Series(),
+		Order:      rs.Order,
+	}
 	if *csvOut {
 		err = scen.WriteCSV(os.Stdout)
 	} else {
@@ -105,22 +121,77 @@ func main() {
 	}
 }
 
-func runFromConfig(path string, opt runner.Options) (*report.Scenario, error) {
-	exp, err := config.Load(path)
+// resolveSpec picks the experiment to run: a JSON file, a registry entry
+// (with explicit -tasks/-horizon/-seed flags overriding the spec), or the
+// classic scenario flags compiled into the equivalent spec.
+func resolveSpec(cfgPath, experiment string, scenario int, tasks string, horizon float64, seed uint64) (*exp.Spec, error) {
+	if cfgPath != "" {
+		e, err := config.Load(cfgPath)
+		if err != nil {
+			return nil, err
+		}
+		return e.Spec(cfgPath)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if experiment != "" {
+		spec, ok := exp.Lookup(experiment)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (registered: %s)",
+				experiment, strings.Join(exp.Names(), ", "))
+		}
+		// Explicit flags override the registered defaults on this
+		// run's clone; the registry itself is untouched.
+		if set["tasks"] {
+			counts, err := parseCounts(tasks)
+			if err != nil {
+				return nil, err
+			}
+			replaced := false
+			for i := range spec.Axes {
+				if spec.Axes[i].Kind == exp.AxisTasks {
+					spec.Axes[i] = exp.Tasks(counts...)
+					replaced = true
+				}
+			}
+			if !replaced {
+				spec.Axes = append(spec.Axes, exp.Tasks(counts...))
+			}
+		}
+		if set["horizon"] {
+			// A horizon axis would overwrite the per-variant field
+			// each grid cell; collapse it to the override value.
+			for i := range spec.Axes {
+				if spec.Axes[i].Kind == exp.AxisHorizonSec {
+					spec.Axes[i] = exp.HorizonSec(horizon)
+				}
+			}
+			for i := range spec.Variants {
+				spec.Variants[i].HorizonSec = horizon
+			}
+		}
+		if set["seed"] {
+			for i := range spec.Variants {
+				spec.Variants[i].Seed = seed
+			}
+		}
+		return spec, nil
+	}
+	counts, err := parseCounts(tasks)
 	if err != nil {
 		return nil, err
 	}
-	bases, err := exp.RunConfigs()
-	if err != nil {
-		return nil, err
+	return exp.Scenario(scenario, counts, horizon, seed)
+}
+
+// writeRegistry renders the experiment registry as an aligned table.
+func writeRegistry(w *os.File) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "experiment\tshape\tdescription\t\n")
+	for _, s := range exp.List() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t\n", s.Name, exp.Summarize(s), s.Description)
 	}
-	series, order, runErr := runner.SweepGrid(bases, exp.TaskCounts, opt)
-	return &report.Scenario{
-		Title:      fmt.Sprintf("Experiment %s", path),
-		TaskCounts: exp.TaskCounts,
-		Series:     series,
-		Order:      order,
-	}, runErr
+	return tw.Flush()
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -1,38 +1,48 @@
-// Oversubscription: sweep the context pool's over-subscription level in
-// Scenario 2 (three contexts) at a fixed, saturating task count, and report
-// how FPS, miss rate, and latency respond — the paper's Figure 4 trade-off
+// Oversubscription: run the registry's built-in over-subscription
+// experiment at a single saturating task count and report how FPS, miss
+// rate, latency, and utilisation respond — the paper's Figure 4 trade-off
 // ("higher over-subscription leads to poor predictability and increased
-// resource contention").
+// resource contention"). The over-subscription level is a declarative
+// sweep axis; this example shrinks a clone of the registered spec to one
+// load point instead of hand-rolling a loop of runs.
 //
 //	go run ./examples/oversubscription
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sgprs/internal/sim"
+	"sgprs"
 )
 
 func main() {
 	log.SetFlags(0)
 	const tasks = 26 // just past the pivot: over-subscription differences matter here
-	fmt.Printf("over-subscription sweep, Scenario 2 (three contexts), %d tasks @ 30 fps\n\n", tasks)
-	fmt.Printf("%-6s %-14s %8s %8s %10s %10s\n", "os", "pool", "fps", "dmr", "p99(ms)", "util")
-	for _, os := range []float64{1.0, 1.25, 1.5, 1.75, 2.0} {
-		pool := sim.ContextPool(3, os, 68)
-		res, err := sim.Run(sim.RunConfig{
-			Kind:       sim.KindSGPRS,
-			Name:       fmt.Sprintf("sgprs-%.2fx", os),
-			ContextSMs: pool,
-			NumTasks:   tasks,
-			HorizonSec: 8,
-		})
-		if err != nil {
-			log.Fatal(err)
+	spec, ok := sgprs.LookupExperiment("oversubscription")
+	if !ok {
+		log.Fatal("oversubscription experiment is not registered")
+	}
+	for i, a := range spec.Axes {
+		if a.Kind == sgprs.AxisTasks {
+			spec.Axes[i] = sgprs.TasksAxis(tasks)
 		}
-		fmt.Printf("%-6.2f %-14v %8.1f %8.4f %10.2f %9.1f%%\n",
-			os, pool, res.Summary.TotalFPS, res.Summary.DMR,
+	}
+	for i := range spec.Variants {
+		spec.Variants[i].HorizonSec = 8
+	}
+	rs, err := sgprs.RunExperiment(context.Background(), spec, sgprs.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("over-subscription sweep, three contexts, %d tasks @ 30 fps\n\n", tasks)
+	fmt.Printf("%-16s %-14s %8s %8s %10s %10s\n", "variant", "pool", "fps", "dmr", "p99(ms)", "util")
+	for _, r := range rs.Results {
+		res := r.Result
+		fmt.Printf("%-16s %-14s %8.1f %8.4f %10.2f %9.1f%%\n",
+			r.Job.Variant, fmt.Sprint(r.Job.Config.ContextSMs), res.Summary.TotalFPS, res.Summary.DMR,
 			res.Summary.RespP99MS, res.DeviceUtilization*100)
 	}
 }

@@ -1,5 +1,6 @@
 // Quickstart: schedule eight periodic ResNet18 inference tasks on a
-// simulated RTX 2080 Ti with SGPRS and print the run metrics.
+// simulated RTX 2080 Ti with SGPRS and print the run metrics, through the
+// public sgprs facade.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,13 +9,13 @@ import (
 	"fmt"
 	"log"
 
-	"sgprs/internal/sim"
+	"sgprs"
 )
 
 func main() {
 	log.SetFlags(0)
-	res, err := sim.Run(sim.RunConfig{
-		Kind:       sim.KindSGPRS,
+	res, err := sgprs.Run(sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
 		Name:       "sgprs-quickstart",
 		ContextSMs: []int{34, 34}, // two-context pool (paper Scenario 1)
 		NumTasks:   8,             // 8 x ResNet18 @ 30 fps, 6 stages each

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 
+	"sgprs/internal/exp"
 	"sgprs/internal/sim"
 )
 
@@ -142,6 +143,20 @@ func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
 		})
 	}
 	return out, nil
+}
+
+// Spec compiles the serialised experiment into a declarative exp.Spec (one
+// variant per configuration, the task counts as the sweep axis), so JSON
+// experiment files run through the same spec pipeline as registry entries.
+func (e *Experiment) Spec(name string) (*exp.Spec, error) {
+	bases, err := e.RunConfigs()
+	if err != nil {
+		return nil, err
+	}
+	s := exp.Grid(bases, e.TaskCounts)
+	s.Name = name
+	s.Description = "JSON experiment file"
+	return s, nil
 }
 
 // Load reads an Experiment from a JSON file.

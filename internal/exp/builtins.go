@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"sgprs/internal/sim"
+	"sgprs/internal/speedup"
+)
+
+// Scenario builds the spec for one paper scenario (1 or 2): the naive
+// baseline plus SGPRS at over-subscription 1.0/1.5/2.0, swept over the task
+// counts. Compiling it yields exactly the job list the legacy drivers
+// built by hand (the equivalence tests pin this), so the facade's
+// RunScenario is a wrapper over this spec.
+func Scenario(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*Spec, error) {
+	np, err := sim.ScenarioContexts(scenario)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{
+		Name: fmt.Sprintf("scenario%d", scenario),
+		Description: fmt.Sprintf(
+			"paper scenario %d (%d contexts): naive baseline + SGPRS at 1.0/1.5/2.0x over-subscription (Figures %da/%db)",
+			scenario, np, scenario+2, scenario+2),
+		Axes: []Axis{Tasks(taskCounts...)},
+	}
+	for _, v := range sim.ScenarioVariants() {
+		s.Variants = append(s.Variants, sim.RunConfig{
+			Kind:       v.Kind,
+			Name:       v.Name,
+			ContextSMs: sim.ContextPool(np, v.OS, speedup.DeviceSMs),
+			HorizonSec: horizonSec,
+			Seed:       seed,
+			NumTasks:   1, // overwritten by the task axis
+		})
+	}
+	return s, nil
+}
+
+// Built-in experiments. The paper's two scenarios ship as registry entries
+// next to three studies from its evaluation discussion (§V): an ablation
+// grid over the scheduler's design features, a release-jitter ladder, and
+// an over-subscription sweep. All use the full 10 s evaluation horizon;
+// Lookup returns clones, so callers wanting a smoke-scale run can shrink
+// the axes of their copy freely.
+func init() {
+	var fullRamp []int
+	for n := 1; n <= 30; n++ {
+		fullRamp = append(fullRamp, n)
+	}
+	for _, scenario := range []int{1, 2} {
+		s, err := Scenario(scenario, fullRamp, 10, 1)
+		if err != nil {
+			panic(err)
+		}
+		MustRegister(s)
+	}
+
+	sgprs15 := func(name string, np int) sim.RunConfig {
+		return sim.RunConfig{
+			Kind:       sim.KindSGPRS,
+			Name:       name,
+			ContextSMs: sim.ContextPool(np, 1.5, speedup.DeviceSMs),
+			HorizonSec: 10,
+			Seed:       1,
+			NumTasks:   1,
+		}
+	}
+
+	// Ablation grid: each SGPRS design feature toggled off in isolation
+	// against the full scheduler, across the load ramp's decision points.
+	full := sgprs15("sgprs-full", 3)
+	noProm := sgprs15("no-medium-promotion", 3)
+	noProm.DisableMediumPromotion = true
+	noDrop := sgprs15("no-late-drop", 3)
+	noDrop.DisableLateDrop = true
+	flat := sgprs15("flat-priorities", 3)
+	flat.FlattenPriorities = true
+	MustRegister(&Spec{
+		Name:        "ablation-grid",
+		Description: "SGPRS 1.5x (3 contexts) vs each design feature disabled, over the pivot-region loads",
+		Variants:    []sim.RunConfig{full, noProm, noDrop, flat},
+		Axes:        []Axis{Tasks(8, 16, 23, 26, 30)},
+	})
+
+	// Jitter ladder: how much sporadic release jitter the schedule
+	// absorbs before the pivot point recedes.
+	MustRegister(&Spec{
+		Name:        "jitter-ladder",
+		Description: "SGPRS 1.5x (2 contexts) under growing release jitter: 0/2/5/10 ms bounds over the load ramp",
+		Variants:    []sim.RunConfig{sgprs15("sgprs", 2)},
+		Axes:        []Axis{JitterMS(0, 2, 5, 10), Tasks(4, 8, 12, 16, 20, 24, 28)},
+	})
+
+	// Over-subscription sweep: the Figure 4 trade-off as a first-class
+	// axis — predictability versus contention around the saturation knee.
+	MustRegister(&Spec{
+		Name:        "oversubscription",
+		Description: "SGPRS (3 contexts) across over-subscription 1.0..2.0 at saturating loads",
+		Variants:    []sim.RunConfig{sgprs15("sgprs", 3)},
+		Axes:        []Axis{OverSub(1.0, 1.25, 1.5, 1.75, 2.0), Tasks(20, 22, 24, 26, 28)},
+	})
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sgprs/internal/runner"
+	"sgprs/internal/sim"
+)
+
+// equivCounts/equivHorizon keep the equivalence sweeps fast while still
+// crossing every variant (see runner's determinism tests for the scale
+// rationale).
+var equivCounts = []int{2, 4}
+
+const equivHorizon = 2
+
+// TestScenarioSpecCompilesToLegacyJobs: the scenario spec expands to
+// byte-for-byte the job list the legacy hand-written expansion built —
+// the strongest form of the wrapper equivalence claim, without running a
+// single simulation.
+func TestScenarioSpecCompilesToLegacyJobs(t *testing.T) {
+	for _, scenario := range []int{1, 2} {
+		legacy, err := runner.ScenarioJobs(scenario, equivCounts, equivHorizon, 1, runner.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Scenario(scenario, equivCounts, equivHorizon, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c.Jobs, legacy) {
+			t.Errorf("scenario %d: compiled jobs differ from the legacy expansion\n spec:   %+v\n legacy: %+v",
+				scenario, c.Jobs, legacy)
+		}
+	}
+}
+
+// TestScenarioSpecBitIdentical is the pinned acceptance test: the
+// spec-driven regeneration of scenarios 1 and 2 is bit-identical to the
+// sequential reference driver (sim.RunScenario) at worker counts 1, 2,
+// and 4.
+func TestScenarioSpecBitIdentical(t *testing.T) {
+	for _, scenario := range []int{1, 2} {
+		ref, err := sim.RunScenario(scenario, equivCounts, equivHorizon, 1)
+		if err != nil {
+			t.Fatalf("scenario %d reference: %v", scenario, err)
+		}
+		spec, err := Scenario(scenario, equivCounts, equivHorizon, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			rs, err := Run(context.Background(), spec, runner.Options{Jobs: workers})
+			if err != nil {
+				t.Fatalf("scenario %d workers=%d: %v", scenario, workers, err)
+			}
+			got := &sim.ScenarioRun{
+				Scenario:   scenario,
+				TaskCounts: rs.TaskCounts,
+				Series:     rs.Series(),
+				Order:      rs.Order,
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("scenario %d workers=%d: spec-driven output differs from the sequential reference",
+					scenario, workers)
+			}
+		}
+	}
+}
+
+// TestSeriesSpecBitIdentical pins the SweepSeries wrapper the same way.
+func TestSeriesSpecBitIdentical(t *testing.T) {
+	base := sim.RunConfig{
+		Kind:       sim.KindSGPRS,
+		Name:       "sgprs",
+		ContextSMs: sim.ContextPool(2, 1.5, 68),
+		NumTasks:   1,
+		HorizonSec: equivHorizon,
+		Seed:       1,
+	}
+	ref, err := sim.SweepSeries(base, equivCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		rs, err := Run(context.Background(), Series(base, equivCounts), runner.Options{Jobs: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rs.Series()["sgprs"]; !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: series spec differs from sequential reference", workers)
+		}
+	}
+}

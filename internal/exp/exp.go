@@ -1,0 +1,384 @@
+// Package exp is the declarative experiment layer: an experiment is data —
+// a named Spec of scheduler variants crossed with typed sweep axes — not a
+// hand-written driver. Compile expands a Spec into the runner's job list
+// (validating every grid cell up front, so a bad axis value fails at compile
+// time with its variant and axis named, never deep inside a pool worker),
+// Run executes it with context cancellation and streaming per-job results,
+// and a process-wide registry (Register/Lookup/List) names the paper's
+// scenarios and the built-in studies so new experiments are registry entries
+// instead of new code paths.
+//
+// Determinism is inherited from the runner: a compiled job's seed is fixed
+// at compile time (SeedFixed keeps each variant's configured seed, matching
+// the sequential drivers bit-for-bit; SeedDerived decorrelates per grid
+// cell via runner.DeriveSeed), so results are bit-identical across worker
+// counts. The legacy facade entry points (RunScenario, SweepSeries,
+// SweepGrid) are thin wrappers over Specs; equivalence tests pin their
+// output to the sequential reference drivers in package sim.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sgprs/internal/runner"
+	"sgprs/internal/sim"
+	"sgprs/internal/speedup"
+)
+
+// AxisKind identifies a sweep dimension of the run configuration.
+type AxisKind int
+
+// Axis kinds. AxisTasks is the classic figure abscissa (task count); the
+// others sweep load shape (over-subscription, frame rate, release jitter,
+// execution-demand variation) or measurement length (horizon).
+const (
+	AxisTasks AxisKind = iota
+	AxisOverSub
+	AxisFPS
+	AxisJitterMS
+	AxisWorkVar
+	AxisHorizonSec
+)
+
+// String names the axis the way validation errors report it.
+func (k AxisKind) String() string {
+	switch k {
+	case AxisTasks:
+		return "task-count"
+	case AxisOverSub:
+		return "over-subscription"
+	case AxisFPS:
+		return "fps"
+	case AxisJitterMS:
+		return "release-jitter-ms"
+	case AxisWorkVar:
+		return "work-variation"
+	case AxisHorizonSec:
+		return "horizon-sec"
+	default:
+		return fmt.Sprintf("axis(%d)", int(k))
+	}
+}
+
+// key is the short form used in expanded variant labels ("sgprs@os=1.5")
+// and -list summaries.
+func (k AxisKind) key() string {
+	switch k {
+	case AxisTasks:
+		return "n"
+	case AxisOverSub:
+		return "os"
+	case AxisFPS:
+		return "fps"
+	case AxisJitterMS:
+		return "jit"
+	case AxisWorkVar:
+		return "var"
+	case AxisHorizonSec:
+		return "h"
+	default:
+		return k.String()
+	}
+}
+
+// Axis is one typed sweep dimension: a kind plus its value list. Use the
+// constructors (Tasks, OverSub, FPS, JitterMS, WorkVar, HorizonSec) — they
+// document the units. Task counts are stored as float64 like every other
+// axis but must be integral; Compile rejects fractional values.
+type Axis struct {
+	Kind   AxisKind
+	Values []float64
+}
+
+// Tasks is the task-count axis (sets RunConfig.NumTasks).
+func Tasks(counts ...int) Axis {
+	vs := make([]float64, len(counts))
+	for i, n := range counts {
+		vs[i] = float64(n)
+	}
+	return Axis{Kind: AxisTasks, Values: vs}
+}
+
+// TaskRange is Tasks over the inclusive range lo..hi.
+func TaskRange(lo, hi int) Axis {
+	var counts []int
+	for n := lo; n <= hi; n++ {
+		counts = append(counts, n)
+	}
+	return Tasks(counts...)
+}
+
+// OverSub sweeps the context pool's over-subscription level: each value
+// rescales the variant's pool (keeping its context count) via
+// sim.ContextPool.
+func OverSub(levels ...float64) Axis { return Axis{Kind: AxisOverSub, Values: levels} }
+
+// FPS sweeps the per-task frame rate.
+func FPS(rates ...float64) Axis { return Axis{Kind: AxisFPS, Values: rates} }
+
+// JitterMS sweeps the per-job uniform release-jitter bound, milliseconds.
+func JitterMS(ms ...float64) Axis { return Axis{Kind: AxisJitterMS, Values: ms} }
+
+// WorkVar sweeps the relative per-job execution-demand spread (WCET-overrun
+// injection; 0.15 means ±15%).
+func WorkVar(fracs ...float64) Axis { return Axis{Kind: AxisWorkVar, Values: fracs} }
+
+// HorizonSec sweeps the simulated measurement horizon, seconds.
+func HorizonSec(secs ...float64) Axis { return Axis{Kind: AxisHorizonSec, Values: secs} }
+
+// validate checks the axis's value ranges. Variant-dependent constraints
+// (an over-subscription axis needs a context pool to rescale) are checked
+// during expansion, where the variant can be named.
+func (a Axis) validate(spec string) error {
+	if len(a.Values) == 0 {
+		return fmt.Errorf("exp: spec %q: empty %s axis", spec, a.Kind)
+	}
+	for _, v := range a.Values {
+		bad := ""
+		switch a.Kind {
+		case AxisTasks:
+			if v != math.Trunc(v) || v < 1 {
+				bad = "must be an integer >= 1"
+			}
+		case AxisOverSub, AxisFPS, AxisHorizonSec:
+			if !(v > 0) {
+				bad = "must be positive"
+			}
+		case AxisJitterMS, AxisWorkVar:
+			if !(v >= 0) {
+				bad = "must be non-negative"
+			}
+		default:
+			bad = "unknown axis kind"
+		}
+		if bad != "" {
+			return fmt.Errorf("exp: spec %q: %s axis value %v %s", spec, a.Kind, v, bad)
+		}
+	}
+	return nil
+}
+
+// SeedPolicy selects how compiled jobs get their seeds.
+type SeedPolicy int
+
+const (
+	// SeedFixed keeps each variant's configured seed on every grid cell —
+	// the sequential drivers' behavior, and the default.
+	SeedFixed SeedPolicy = iota
+	// SeedDerived gives every grid cell a distinct seed mixed from the
+	// variant's base seed and the cell's (label, task count) via
+	// runner.DeriveSeed; exactly reproducible, never scheduling-dependent.
+	SeedDerived
+)
+
+// Spec is a declarative experiment: named variants (RunConfig templates)
+// crossed with sweep axes. Compile expands the cross product into the
+// runner's job list; Run executes it. Specs are plain data — copy one,
+// tweak an axis, and register the result as a new experiment.
+type Spec struct {
+	// Name identifies the spec in the registry and in CLI -experiment
+	// flags. Required by Register; Compile allows anonymous specs.
+	Name string
+	// Description is the one-line summary -list prints.
+	Description string
+	// Variants are the scheduler configurations to sweep. Each needs a
+	// unique name (empty Name falls back to the Kind's name). Axis values
+	// overwrite the corresponding template fields per grid cell.
+	Variants []sim.RunConfig
+	// Axes are the sweep dimensions, at most one per kind. The task-count
+	// axis is always the innermost expansion (one result series per
+	// variant × other-axis combination); if absent, each variant runs at
+	// its template's NumTasks. An axis with no values is a compile error.
+	Axes []Axis
+	// SeedPolicy is SeedFixed (default) or SeedDerived.
+	SeedPolicy SeedPolicy
+}
+
+// Clone returns an independent deep copy: mutating the copy's variants or
+// axes never affects the original (or the registry's master copy).
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Variants = make([]sim.RunConfig, len(s.Variants))
+	for i, v := range s.Variants {
+		c.Variants[i] = v
+		c.Variants[i].ContextSMs = append([]int(nil), v.ContextSMs...)
+	}
+	c.Axes = make([]Axis, len(s.Axes))
+	for i, a := range s.Axes {
+		c.Axes[i] = Axis{Kind: a.Kind, Values: append([]float64(nil), a.Values...)}
+	}
+	return &c
+}
+
+// Compiled is a Spec expanded into executable form.
+type Compiled struct {
+	Spec *Spec
+	// Jobs is the flat job list, grouped per expanded variant label with
+	// the task axis innermost — the submission order the runner preserves
+	// in its results.
+	Jobs []runner.Job
+	// Order lists the expanded variant labels (variant × non-task axis
+	// combination) in submission order; with no non-task axes these are
+	// the bare variant names.
+	Order []string
+	// TaskCounts is the task axis (or, without one, the distinct template
+	// task counts) — the abscissa shared by every series.
+	TaskCounts []int
+}
+
+// variantName labels a configuration the way sim.RunConfig.Normalize would.
+func variantName(cfg sim.RunConfig) string {
+	if cfg.Name != "" {
+		return cfg.Name
+	}
+	return cfg.Kind.String()
+}
+
+// Compile expands the spec into the runner's job list, validating every
+// grid cell: duplicate variant names, empty or out-of-range axes, and any
+// configuration sim.RunConfig.Normalize would reject (zero task counts,
+// horizon not exceeding warm-up, ...) are reported here — naming the spec,
+// the expanded variant, and where applicable the axis — instead of failing
+// inside a pool worker. The returned job configs are left un-normalized, so
+// compiled specs execute exactly like hand-built job lists.
+func (s *Spec) Compile() (*Compiled, error) {
+	if len(s.Variants) == 0 {
+		return nil, fmt.Errorf("exp: spec %q has no variants", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Variants))
+	for _, v := range s.Variants {
+		name := variantName(v)
+		if seen[name] {
+			return nil, fmt.Errorf("exp: spec %q: duplicate variant name %q", s.Name, name)
+		}
+		seen[name] = true
+	}
+
+	var tasksAxis *Axis
+	var sweep []Axis // non-task axes, in spec order
+	kinds := make(map[AxisKind]bool, len(s.Axes))
+	for i := range s.Axes {
+		a := s.Axes[i]
+		if kinds[a.Kind] {
+			return nil, fmt.Errorf("exp: spec %q has two %s axes", s.Name, a.Kind)
+		}
+		kinds[a.Kind] = true
+		if err := a.validate(s.Name); err != nil {
+			return nil, err
+		}
+		if a.Kind == AxisTasks {
+			tasksAxis = &a
+		} else {
+			sweep = append(sweep, a)
+		}
+	}
+
+	c := &Compiled{Spec: s}
+	if tasksAxis != nil {
+		c.TaskCounts = make([]int, len(tasksAxis.Values))
+		for i, v := range tasksAxis.Values {
+			c.TaskCounts[i] = int(v)
+		}
+	} else {
+		counts := map[int]bool{}
+		for _, v := range s.Variants {
+			if !counts[v.NumTasks] {
+				counts[v.NumTasks] = true
+				c.TaskCounts = append(c.TaskCounts, v.NumTasks)
+			}
+		}
+	}
+
+	// Expansion: variant-major, then the non-task axes as a mixed-radix
+	// counter (first axis slowest), task counts innermost — one contiguous
+	// job block per expanded label.
+	combo := make([]int, len(sweep))
+	for _, v := range s.Variants {
+		for i := range combo {
+			combo[i] = 0
+		}
+		for {
+			label := variantName(v)
+			if len(sweep) > 0 {
+				parts := make([]string, len(sweep))
+				for i, a := range sweep {
+					parts[i] = a.Kind.key() + "=" + strconv.FormatFloat(a.Values[combo[i]], 'g', -1, 64)
+				}
+				label += "@" + strings.Join(parts, ",")
+			}
+			cfg := v
+			cfg.Name = label
+			for i, a := range sweep {
+				if err := applyAxis(&cfg, a.Kind, a.Values[combo[i]]); err != nil {
+					return nil, fmt.Errorf("exp: spec %q variant %q: %w", s.Name, label, err)
+				}
+			}
+			counts := c.TaskCounts
+			if tasksAxis == nil {
+				counts = []int{cfg.NumTasks}
+			}
+			for _, n := range counts {
+				jc := cfg
+				jc.NumTasks = n
+				if s.SeedPolicy == SeedDerived {
+					jc.Seed = runner.DeriveSeed(v.Seed, label, n)
+				}
+				// Dry-run the run-time validation on a copy: every
+				// rejection a worker would hit surfaces here, with
+				// the expanded label in the message.
+				dry := jc
+				if err := dry.Normalize(); err != nil {
+					return nil, fmt.Errorf("exp: spec %q: %w", s.Name, err)
+				}
+				c.Jobs = append(c.Jobs, runner.Job{Variant: label, Tasks: n, Config: jc})
+			}
+			c.Order = append(c.Order, label)
+
+			i := len(sweep) - 1
+			for ; i >= 0; i-- {
+				combo[i]++
+				if combo[i] < len(sweep[i].Values) {
+					break
+				}
+				combo[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return c, nil
+}
+
+// applyAxis writes one axis value into a run configuration.
+func applyAxis(cfg *sim.RunConfig, k AxisKind, v float64) error {
+	switch k {
+	case AxisOverSub:
+		np := len(cfg.ContextSMs)
+		if np == 0 {
+			return fmt.Errorf("%s axis needs a context pool on the variant template", k)
+		}
+		total := cfg.GPU.TotalSMs
+		if total == 0 {
+			total = speedup.DeviceSMs
+		}
+		if total < 0 {
+			return fmt.Errorf("%s axis cannot rescale a device with %d SMs", k, total)
+		}
+		cfg.ContextSMs = sim.ContextPool(np, v, total)
+	case AxisFPS:
+		cfg.FPS = v
+	case AxisJitterMS:
+		cfg.ReleaseJitterMS = v
+	case AxisWorkVar:
+		cfg.WorkVariation = v
+	case AxisHorizonSec:
+		cfg.HorizonSec = v
+	default:
+		return fmt.Errorf("cannot apply %s axis", k)
+	}
+	return nil
+}

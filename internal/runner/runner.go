@@ -14,9 +14,17 @@
 // A failed job never cancels or discards its siblings: Run always returns
 // one JobResult per Job, and Err collects the failures — with their sweep
 // coordinates — into a single Errors value.
+//
+// Cancellation is cooperative and job-grained: when the context passed to
+// Run is cancelled the pool stops dispatching new jobs, drains the runs
+// already in flight (a discrete-event run is not interruptible midway), and
+// attributes every undispatched job's error to the context. Completed
+// results are always returned; errors.Is(Err(results), context.Canceled)
+// reports the cancellation.
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -70,6 +78,16 @@ func (e JobError) Unwrap() error { return e.Err }
 // the completed results, never instead of them.
 type Errors []JobError
 
+// Unwrap exposes the individual failures, so errors.Is sees through the
+// aggregate — a cancelled sweep satisfies errors.Is(err, context.Canceled).
+func (es Errors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
 // Error lists every failure, one per line.
 func (es Errors) Error() string {
 	if len(es) == 1 {
@@ -84,9 +102,11 @@ func (es Errors) Error() string {
 	return b.String()
 }
 
-// Progress observes job completions. Calls are serialized by the pool;
-// done is the number of completed jobs so far (monotonic, ends at total).
-// Completion order is scheduling-dependent — use r.Index for identity.
+// Progress streams per-job results as the pool finalizes them. Calls are
+// serialized by the pool; done is the number of finalized jobs so far
+// (monotonic, ends at total even when the context is cancelled — skipped
+// jobs stream through with their ctx-attributed error). Completion order is
+// scheduling-dependent — use r.Index for identity.
 type Progress func(done, total int, r JobResult)
 
 // Options configures a fan-out.
@@ -95,13 +115,16 @@ type Options struct {
 	// available CPU (runtime.GOMAXPROCS(0)). The worker count never
 	// affects results, only wall-clock time.
 	Jobs int
-	// Progress, when non-nil, is invoked after every job completes.
+	// Progress, when non-nil, is invoked after every job is finalized —
+	// the streaming per-job result callback.
 	Progress Progress
 	// DecorrelateSeeds gives every expanded job a distinct seed derived
 	// from (base seed, variant, task count) via DeriveSeed. The default
 	// (false) keeps the base seed on every job, matching the sequential
 	// drivers in package sim bit-for-bit. Only affects the expansion
-	// helpers (SweepSeries, RunScenario, ...), not explicit Job lists.
+	// helpers (SweepSeries, RunScenario, ...), not explicit Job lists;
+	// the spec-backed facade wrappers translate it to exp.SeedDerived,
+	// which stamps the same seeds.
 	DecorrelateSeeds bool
 	// Cache is the offline-phase cache shared by the pool's workers; nil
 	// means the process-wide memo.Default(). The cache's per-key
@@ -145,7 +168,15 @@ func (o Options) workers(jobs int) int {
 // order. It never returns early: a failing job records its error and the
 // pool keeps draining, so completed siblings are always present. Collect
 // failures with Err.
-func Run(jobs []Job, opt Options) []JobResult {
+//
+// A cancelled ctx stops the dispatch of new jobs; runs already in flight
+// drain to completion (their results are kept), and every job not yet
+// dispatched is finalized with a JobError wrapping ctx.Err(). A nil ctx is
+// treated as context.Background().
+func Run(ctx context.Context, jobs []Job, opt Options) []JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -175,8 +206,13 @@ func Run(jobs []Job, opt Options) []JobResult {
 					return
 				}
 				r := JobResult{Job: jobs[i], Index: i}
-				res, err := sess.Run(jobs[i].Config)
-				if err != nil {
+				// The ctx check sits between claim and run: a job
+				// claimed after cancellation is finalized with the
+				// context's error instead of executing, while runs
+				// already past this point drain to completion.
+				if cerr := ctx.Err(); cerr != nil {
+					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: cerr}
+				} else if res, err := sess.Run(jobs[i].Config); err != nil {
 					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: err}
 				} else {
 					r.Result = res

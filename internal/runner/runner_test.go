@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -36,7 +37,7 @@ func TestScenarioMatchesSequential(t *testing.T) {
 			t.Fatalf("scenario %d sequential: %v", scenario, err)
 		}
 		for _, jobs := range []int{0, 1, 3, 8} {
-			par, err := RunScenario(scenario, testCounts, testHorizon, 1, Options{Jobs: jobs})
+			par, err := RunScenario(context.Background(), scenario, testCounts, testHorizon, 1, Options{Jobs: jobs})
 			if err != nil {
 				t.Fatalf("scenario %d jobs=%d: %v", scenario, jobs, err)
 			}
@@ -55,7 +56,7 @@ func TestSweepSeriesMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := SweepSeries(base, testCounts, Options{Jobs: 4})
+	par, err := SweepSeries(context.Background(), base, testCounts, Options{Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +69,8 @@ func TestSweepSeriesMatchesSequential(t *testing.T) {
 // full results (not just summaries).
 func TestWorkerCountInvariance(t *testing.T) {
 	jobs := SweepJobs(testBase("sgprs"), []int{1, 2, 3, 4}, Options{})
-	one := Run(jobs, Options{Jobs: 1})
-	many := Run(jobs, Options{Jobs: 8})
+	one := Run(context.Background(), jobs, Options{Jobs: 1})
+	many := Run(context.Background(), jobs, Options{Jobs: 8})
 	if !reflect.DeepEqual(one, many) {
 		t.Error("results differ between 1 and 8 workers")
 	}
@@ -86,7 +87,7 @@ func TestFailureAttribution(t *testing.T) {
 		{Variant: "broken", Tasks: 3, Config: withTasks(bad, 3)},
 		{Variant: "good", Tasks: 4, Config: withTasks(good, 4)},
 	}
-	results := Run(jobs, Options{Jobs: 2})
+	results := Run(context.Background(), jobs, Options{Jobs: 2})
 	if len(results) != 3 {
 		t.Fatalf("got %d results, want 3", len(results))
 	}
@@ -125,7 +126,7 @@ func TestFailureAttribution(t *testing.T) {
 func TestSweepSeriesKeepsFinishedPoints(t *testing.T) {
 	base := testBase("sgprs")
 	counts := []int{2, 0, 4} // 0 tasks fails Normalize
-	series, err := SweepSeries(base, counts, Options{Jobs: 2})
+	series, err := SweepSeries(context.Background(), base, counts, Options{Jobs: 2})
 	if err == nil {
 		t.Fatal("want error for n=0 point")
 	}
@@ -141,7 +142,7 @@ func TestProgress(t *testing.T) {
 	var calls int
 	last := 0
 	seen := map[int]bool{}
-	_ = Run(jobs, Options{Jobs: 3, Progress: func(done, total int, r JobResult) {
+	_ = Run(context.Background(), jobs, Options{Jobs: 3, Progress: func(done, total int, r JobResult) {
 		calls++
 		if total != 3 {
 			t.Errorf("total = %d, want 3", total)
@@ -200,7 +201,7 @@ func TestDecorrelateSeeds(t *testing.T) {
 // per-variant series in submission order.
 func TestSweepGrid(t *testing.T) {
 	bases := []sim.RunConfig{testBase("a"), testBase("b")}
-	series, order, err := SweepGrid(bases, testCounts, Options{Jobs: 4})
+	series, order, err := SweepGrid(context.Background(), bases, testCounts, Options{Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestSweepGrid(t *testing.T) {
 // job block while the fold indexed it per base).
 func TestSweepGridEmptyCounts(t *testing.T) {
 	bases := []sim.RunConfig{testBase("a"), {Kind: sim.KindNaive}}
-	series, order, err := SweepGrid(bases, nil, Options{})
+	series, order, err := SweepGrid(context.Background(), bases, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestSweepGridEmptyCounts(t *testing.T) {
 
 // TestRunEmpty: a zero-job fan-out returns cleanly.
 func TestRunEmpty(t *testing.T) {
-	if got := Run(nil, Options{}); len(got) != 0 {
+	if got := Run(context.Background(), nil, Options{}); len(got) != 0 {
 		t.Errorf("Run(nil) = %v", got)
 	}
 	if err := Err(nil); err != nil {
@@ -249,4 +250,98 @@ func TestRunEmpty(t *testing.T) {
 func withTasks(cfg sim.RunConfig, n int) sim.RunConfig {
 	cfg.NumTasks = n
 	return cfg
+}
+
+// TestCancellationSingleWorker pins the exact cancellation contract with one
+// worker (deterministic on the single-core container): the job in flight
+// when cancel fires drains and keeps its result, no further job is
+// dispatched, and every undispatched job carries a ctx-attributed error.
+func TestCancellationSingleWorker(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := SweepJobs(testBase("sgprs"), []int{2, 3, 4, 5}, Options{})
+	var streamed int
+	results := Run(ctx, jobs, Options{Jobs: 1, Progress: func(done, total int, r JobResult) {
+		streamed++
+		if done == 1 {
+			cancel() // while job 0 is being finalized; jobs 1..3 are undispatched
+		}
+	}})
+	if streamed != len(jobs) {
+		t.Errorf("progress streamed %d results, want %d (cancelled jobs included)", streamed, len(jobs))
+	}
+	if results[0].Err != nil {
+		t.Fatalf("in-flight job was not drained: %v", results[0].Err)
+	}
+	if results[0].Result.Summary.TotalFPS <= 0 {
+		t.Error("drained job lost its result")
+	}
+	for i := 1; i < len(results); i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Errorf("job %d error = %v, want context.Canceled attribution", i, results[i].Err)
+		}
+		var je JobError
+		if !errors.As(results[i].Err, &je) || je.Tasks != jobs[i].Tasks {
+			t.Errorf("job %d lost its sweep coordinates: %v", i, results[i].Err)
+		}
+	}
+	err := Err(results)
+	if err == nil {
+		t.Fatal("Err(results) = nil after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("aggregate error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestCancellationPreCancelled: a context cancelled before Run dispatches
+// anything yields zero executed jobs and one ctx-attributed error per job.
+func TestCancellationPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := SweepJobs(testBase("sgprs"), testCounts, Options{})
+	results := Run(ctx, jobs, Options{Jobs: 2})
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d = %+v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestCancelledSweepKeepsPoints: a cancelled sweep returns the completed
+// points alongside the ctx-attributed Errors value — the partial-results
+// contract extends to cancellation.
+func TestCancelledSweepKeepsPoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{Jobs: 1, Progress: func(done, total int, r JobResult) {
+		if done == 2 {
+			cancel()
+		}
+	}}
+	series, err := SweepSeries(ctx, testBase("sgprs"), []int{2, 3, 4, 5}, opt)
+	if len(series) != 2 || series[0].Tasks != 2 || series[1].Tasks != 3 {
+		t.Fatalf("series = %+v, want the two completed points", series)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sweep error = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepGridDuplicateNames: two bases resolving to the same variant name
+// are rejected instead of silently merging into one map key.
+func TestSweepGridDuplicateNames(t *testing.T) {
+	bases := []sim.RunConfig{testBase("dup"), testBase("dup")}
+	series, order, err := SweepGrid(context.Background(), bases, testCounts, Options{})
+	if err == nil || !strings.Contains(err.Error(), "duplicate variant name") {
+		t.Fatalf("err = %v, want duplicate variant name error", err)
+	}
+	if series != nil || order != nil {
+		t.Errorf("duplicate grid still returned series %v order %v", series, order)
+	}
+	// Unnamed configs of the same kind collide on the kind name too.
+	anon := []sim.RunConfig{{Kind: sim.KindSGPRS}, {Kind: sim.KindSGPRS}}
+	if _, _, err := SweepGrid(context.Background(), anon, testCounts, Options{}); err == nil {
+		t.Error("unnamed same-kind bases were not rejected")
+	}
 }

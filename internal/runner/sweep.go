@@ -1,6 +1,9 @@
 package runner
 
 import (
+	"context"
+	"fmt"
+
 	"sgprs/internal/metrics"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
@@ -48,8 +51,8 @@ func seriesOf(results []JobResult) []metrics.Point {
 // bit-identical to the sequential driver. Unlike the sequential driver it
 // never discards finished points: on failure it returns every completed
 // point alongside an Errors value attributing each failed (variant, n).
-func SweepSeries(base sim.RunConfig, taskCounts []int, opt Options) ([]metrics.Point, error) {
-	results := Run(SweepJobs(base, taskCounts, opt), opt)
+func SweepSeries(ctx context.Context, base sim.RunConfig, taskCounts []int, opt Options) ([]metrics.Point, error) {
+	results := Run(ctx, SweepJobs(base, taskCounts, opt), opt)
 	return seriesOf(results), Err(results)
 }
 
@@ -57,16 +60,26 @@ func SweepSeries(base sim.RunConfig, taskCounts []int, opt Options) ([]metrics.P
 // one flat fan-out (better worker utilisation than series-at-a-time). It
 // returns the per-variant series keyed by name plus the submission order,
 // with completed points preserved across any failures.
-func SweepGrid(bases []sim.RunConfig, taskCounts []int, opt Options) (map[string][]metrics.Point, []string, error) {
+//
+// Two bases resolving to the same variant name are rejected up front: the
+// result map is keyed by name, so duplicates would silently merge two
+// series into one key (the later block shadowing the earlier).
+func SweepGrid(ctx context.Context, bases []sim.RunConfig, taskCounts []int, opt Options) (map[string][]metrics.Point, []string, error) {
 	var jobs []Job
 	var order []string
+	seen := make(map[string]bool, len(bases))
 	offsets := make([]int, 0, len(bases)) // start index of each base's block
 	for _, base := range bases {
+		name := variantName(base)
+		if seen[name] {
+			return nil, nil, fmt.Errorf("runner: duplicate variant name %q in sweep grid", name)
+		}
+		seen[name] = true
 		offsets = append(offsets, len(jobs))
 		jobs = append(jobs, SweepJobs(base, taskCounts, opt)...)
-		order = append(order, variantName(base))
+		order = append(order, name)
 	}
-	results := Run(jobs, opt)
+	results := Run(ctx, jobs, opt)
 	series := make(map[string][]metrics.Point, len(bases))
 	for i, start := range offsets {
 		end := len(results)
@@ -105,12 +118,12 @@ func ScenarioJobs(scenario int, taskCounts []int, horizonSec float64, seed uint6
 // pool. With default Options the result is bit-identical to the sequential
 // sim.RunScenario for any worker count. On job failures it returns the
 // partial scenario (completed points only) together with an Errors value.
-func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64, opt Options) (*sim.ScenarioRun, error) {
+func RunScenario(ctx context.Context, scenario int, taskCounts []int, horizonSec float64, seed uint64, opt Options) (*sim.ScenarioRun, error) {
 	jobs, err := ScenarioJobs(scenario, taskCounts, horizonSec, seed, opt)
 	if err != nil {
 		return nil, err
 	}
-	results := Run(jobs, opt)
+	results := Run(ctx, jobs, opt)
 	out := &sim.ScenarioRun{
 		Scenario:   scenario,
 		TaskCounts: taskCounts,

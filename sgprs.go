@@ -22,6 +22,15 @@
 // documents the architecture, the hardware-substitution decisions, and the
 // calibration of absolute numbers against the paper.
 //
+// Experiments are declarative: an Experiment spec names scheduler variants
+// and crosses them with typed sweep axes (task count, over-subscription,
+// frame rate, release jitter, work variation, horizon), and a process-wide
+// registry ships the paper's scenarios plus built-in studies — list them
+// with Experiments(), run one with RunExperiment (context cancellation and
+// streaming per-job results included). The legacy RunScenario/SweepSeries/
+// SweepGrid calls are thin wrappers over specs, bit-identical to their
+// original output.
+//
 // Sweeps and scenario regenerations fan their independent runs out across a
 // deterministic worker pool (internal/runner): results are bit-identical to
 // a sequential execution for any worker count. See SweepOptions.
@@ -43,6 +52,9 @@
 package sgprs
 
 import (
+	"context"
+
+	"sgprs/internal/exp"
 	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
 	"sgprs/internal/runner"
@@ -138,7 +150,14 @@ func RunUncached(cfg RunConfig) (Result, error) { return sim.RunWith(cfg, nil) }
 // RunJobs executes an explicit job list on the worker pool, returning
 // ordered results with per-job error attribution.
 func RunJobs(jobs []SweepJob, opt SweepOptions) []SweepJobResult {
-	return runner.Run(jobs, opt)
+	return runner.Run(context.Background(), jobs, opt)
+}
+
+// RunJobsContext is RunJobs under a context: cancellation stops dispatching
+// new jobs, drains the in-flight ones, and attributes every undispatched
+// job's error to the context. Completed results are always returned.
+func RunJobsContext(ctx context.Context, jobs []SweepJob, opt SweepOptions) []SweepJobResult {
+	return runner.Run(ctx, jobs, opt)
 }
 
 // JobsErr collects the failures of a RunJobs result set, or nil.
@@ -150,36 +169,186 @@ func DeriveSeed(base uint64, variant string, tasks int) uint64 {
 	return runner.DeriveSeed(base, variant, tasks)
 }
 
+// Experiment is a declarative experiment specification: named scheduler
+// variants (RunConfig templates) crossed with typed sweep axes, compiled
+// into the runner's job list at execution time. Specs are plain data —
+// clone one from the registry, tweak an axis, register the result. See
+// internal/exp for the compilation contract.
+type Experiment = exp.Spec
+
+// ExperimentAxis is one typed sweep dimension of an Experiment. Build axes
+// with TasksAxis, OverSubAxis, FPSAxis, JitterAxis, WorkVarAxis, and
+// HorizonAxis.
+type ExperimentAxis = exp.Axis
+
+// AxisKind identifies an axis's sweep dimension.
+type AxisKind = exp.AxisKind
+
+// Axis kinds, for inspecting or replacing a spec's axes.
+const (
+	AxisTasks   = exp.AxisTasks
+	AxisOverSub = exp.AxisOverSub
+	AxisFPS     = exp.AxisFPS
+	AxisJitter  = exp.AxisJitterMS
+	AxisWorkVar = exp.AxisWorkVar
+	AxisHorizon = exp.AxisHorizonSec
+)
+
+// ExperimentResults is an executed experiment: per-job outcomes in
+// submission order plus the folding metadata (expanded variant labels,
+// task axis) to read them back as figure series.
+type ExperimentResults = exp.ResultSet
+
+// ExperimentSeedPolicy selects how compiled jobs get their seeds:
+// SeedFixed (the default, matching the sequential drivers) or SeedDerived
+// (per-cell decorrelation via DeriveSeed).
+type ExperimentSeedPolicy = exp.SeedPolicy
+
+// Experiment seed policies.
+const (
+	SeedFixed   = exp.SeedFixed
+	SeedDerived = exp.SeedDerived
+)
+
+// Experiment axis constructors. Each axis overwrites the corresponding
+// RunConfig field per grid cell; the task axis is always the innermost
+// expansion, giving one result series per variant × other-axis combination.
+func TasksAxis(counts ...int) ExperimentAxis       { return exp.Tasks(counts...) }
+func TaskRangeAxis(lo, hi int) ExperimentAxis      { return exp.TaskRange(lo, hi) }
+func OverSubAxis(levels ...float64) ExperimentAxis { return exp.OverSub(levels...) }
+func FPSAxis(rates ...float64) ExperimentAxis      { return exp.FPS(rates...) }
+func JitterAxis(ms ...float64) ExperimentAxis      { return exp.JitterMS(ms...) }
+func WorkVarAxis(fracs ...float64) ExperimentAxis  { return exp.WorkVar(fracs...) }
+func HorizonAxis(secs ...float64) ExperimentAxis   { return exp.HorizonSec(secs...) }
+
+// Experiments returns every registered experiment (the paper's scenario 1
+// and 2 plus the built-in ablation grid, jitter ladder, and
+// over-subscription sweep, and anything added via RegisterExperiment) as
+// independent clones, in registration order.
+func Experiments() []*Experiment { return exp.List() }
+
+// LookupExperiment returns a clone of the named registered experiment.
+// Mutating the clone (e.g. shrinking an axis for a smoke run) never
+// affects the registry.
+func LookupExperiment(name string) (*Experiment, bool) { return exp.Lookup(name) }
+
+// RegisterExperiment adds a spec to the process-wide registry. The spec
+// must be named, must compile, and must not collide with a registered name.
+func RegisterExperiment(s *Experiment) error { return exp.Register(s) }
+
+// ScenarioExperiment builds the spec describing one paper scenario — the
+// same spec RunScenario wraps.
+func ScenarioExperiment(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*Experiment, error) {
+	return exp.Scenario(scenario, taskCounts, horizonSec, seed)
+}
+
+// RunExperiment compiles and executes an experiment spec on the worker
+// pool. Per-job results stream through opt.Progress as they finish; a
+// cancelled ctx stops dispatching new jobs, drains in-flight ones, and
+// attributes the skipped jobs' errors to the context
+// (errors.Is(err, context.Canceled)). Completed results are returned
+// alongside any aggregate error, never instead of it; only a compile
+// error yields a nil result set.
+func RunExperiment(ctx context.Context, spec *Experiment, opt SweepOptions) (*ExperimentResults, error) {
+	return exp.Run(ctx, spec, opt)
+}
+
+// seedPolicy translates the legacy DecorrelateSeeds option into the spec's
+// seed policy. The wrappers' expanded labels equal the bare variant names,
+// so SeedDerived stamps exactly the DeriveSeed(base, name, n) seeds the
+// pre-spec expansion did.
+func seedPolicy(opt SweepOptions) ExperimentSeedPolicy {
+	if opt.DecorrelateSeeds {
+		return SeedDerived
+	}
+	return SeedFixed
+}
+
 // SweepSeries sweeps one configuration across task counts — one figure
-// series — fanning the runs out across all CPUs. On failure the completed
-// points are returned alongside a JobErrors value.
+// series — fanning the runs out across all CPUs. When individual runs fail,
+// the completed points are returned alongside a JobErrors value; an invalid
+// configuration fails the whole sweep up front (spec compilation validates
+// every point before dispatch). It is a thin wrapper over a one-variant
+// Experiment spec; output is bit-identical to the pre-spec implementation
+// (equivalence tests pin it).
 func SweepSeries(base RunConfig, taskCounts []int) ([]Point, error) {
-	return runner.SweepSeries(base, taskCounts, SweepOptions{})
+	return SweepSeriesWith(base, taskCounts, SweepOptions{})
 }
 
 // SweepSeriesWith is SweepSeries with explicit runner options.
 func SweepSeriesWith(base RunConfig, taskCounts []int, opt SweepOptions) ([]Point, error) {
-	return runner.SweepSeries(base, taskCounts, opt)
+	if len(taskCounts) == 0 {
+		return []Point{}, nil
+	}
+	spec := exp.Series(base, taskCounts)
+	spec.SeedPolicy = seedPolicy(opt)
+	rs, err := exp.Run(context.Background(), spec, opt)
+	if rs == nil {
+		return nil, err
+	}
+	// One variant: every completed result is one point, already in job
+	// (= task-count) order.
+	series := make([]Point, 0, len(rs.Results))
+	for _, r := range rs.Results {
+		if r.Err == nil {
+			series = append(series, Point{Tasks: r.Job.Tasks, Summary: r.Result.Summary})
+		}
+	}
+	return series, err
 }
 
 // SweepGrid sweeps several configurations over the same task counts as one
 // flat fan-out, returning per-variant series keyed by name plus the
-// submission order.
+// submission order. Configurations resolving to duplicate variant names
+// are rejected (they would merge into one map key), as is any invalid
+// sweep point (spec compilation validates the grid before dispatch); runs
+// failing at execution time keep their finished siblings. Like the other
+// legacy drivers it wraps an Experiment spec.
 func SweepGrid(bases []RunConfig, taskCounts []int, opt SweepOptions) (map[string][]Point, []string, error) {
-	return runner.SweepGrid(bases, taskCounts, opt)
+	if len(bases) == 0 {
+		return map[string][]Point{}, nil, nil
+	}
+	if len(taskCounts) == 0 {
+		// Degenerate sweep: preserve the legacy shape (every variant
+		// present with an empty series) without compiling an empty
+		// task axis.
+		return runner.SweepGrid(context.Background(), bases, nil, opt)
+	}
+	spec := exp.Grid(bases, taskCounts)
+	spec.SeedPolicy = seedPolicy(opt)
+	rs, err := exp.Run(context.Background(), spec, opt)
+	if rs == nil {
+		return nil, nil, err
+	}
+	return rs.Series(), rs.Order, err
 }
 
 // RunScenario regenerates a full paper scenario (1 or 2): the naive baseline
 // plus SGPRS at over-subscription 1.0/1.5/2.0 over the task counts, in
-// parallel across all CPUs. Output is bit-identical to the sequential
-// reference driver (sim.RunScenario) for any worker count.
+// parallel across all CPUs. It wraps the registry's scenario spec; output
+// is bit-identical to the sequential reference driver (sim.RunScenario)
+// for any worker count (equivalence tests pin it at 1, 2, and 4 workers).
 func RunScenario(scenario int, taskCounts []int, horizonSec float64, seed uint64) (*sim.ScenarioRun, error) {
-	return runner.RunScenario(scenario, taskCounts, horizonSec, seed, SweepOptions{})
+	return RunScenarioWith(scenario, taskCounts, horizonSec, seed, SweepOptions{})
 }
 
 // RunScenarioWith is RunScenario with explicit runner options.
 func RunScenarioWith(scenario int, taskCounts []int, horizonSec float64, seed uint64, opt SweepOptions) (*sim.ScenarioRun, error) {
-	return runner.RunScenario(scenario, taskCounts, horizonSec, seed, opt)
+	spec, err := exp.Scenario(scenario, taskCounts, horizonSec, seed)
+	if err != nil {
+		return nil, err
+	}
+	spec.SeedPolicy = seedPolicy(opt)
+	rs, runErr := exp.Run(context.Background(), spec, opt)
+	if rs == nil {
+		return nil, runErr
+	}
+	return &sim.ScenarioRun{
+		Scenario:   scenario,
+		TaskCounts: taskCounts,
+		Series:     rs.Series(),
+		Order:      rs.Order,
+	}, runErr
 }
 
 // ContextPool computes the per-context SM allocation for np contexts at

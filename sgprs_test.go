@@ -1,9 +1,13 @@
 package sgprs_test
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"sgprs"
+	"sgprs/internal/runner"
+	"sgprs/internal/sim"
 )
 
 // TestFacadeQuickstart exercises the public API end to end, exactly as the
@@ -67,5 +71,124 @@ func TestFacadeSweepAndPivot(t *testing.T) {
 	}
 	if got := sgprs.SaturationFPS(series); got < 110 {
 		t.Errorf("saturation = %v", got)
+	}
+}
+
+// TestFacadeExperimentRegistry: the registry ships the paper's scenarios
+// and the built-in studies, and RunExperiment streams results under a
+// context.
+func TestFacadeExperimentRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range sgprs.Experiments() {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"scenario1", "scenario2", "ablation-grid", "jitter-ladder", "oversubscription"} {
+		if !names[want] {
+			t.Errorf("registry is missing built-in %q", want)
+		}
+	}
+
+	spec, ok := sgprs.LookupExperiment("jitter-ladder")
+	if !ok {
+		t.Fatal("jitter-ladder not registered")
+	}
+	// Shrink the clone to smoke scale; the registry master is unaffected.
+	spec.Axes = []sgprs.ExperimentAxis{sgprs.JitterAxis(0, 5), sgprs.TasksAxis(2)}
+	for i := range spec.Variants {
+		spec.Variants[i].HorizonSec = 2
+	}
+	var streamed int
+	rs, err := sgprs.RunExperiment(context.Background(), spec, sgprs.SweepOptions{
+		Progress: func(done, total int, r sgprs.SweepJobResult) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 2 || len(rs.Results) != 2 {
+		t.Errorf("streamed %d / results %d, want 2/2", streamed, len(rs.Results))
+	}
+	series := rs.Series()
+	if len(series["sgprs@jit=0"]) != 1 || len(series["sgprs@jit=5"]) != 1 {
+		t.Errorf("series = %v, want one point per jitter level", series)
+	}
+}
+
+// TestFacadeLegacyWrappersBitIdentical is the pinned acceptance test at the
+// facade: the spec-driven RunScenario wrapper regenerates scenarios 1 and 2
+// bit-identically to the sequential reference driver at worker counts 1, 2,
+// and 4.
+func TestFacadeLegacyWrappersBitIdentical(t *testing.T) {
+	counts := []int{2, 4}
+	const horizon = 2
+	for _, scenario := range []int{1, 2} {
+		ref, err := sim.RunScenario(scenario, counts, horizon, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got, err := sgprs.RunScenarioWith(scenario, counts, horizon, 1, sgprs.SweepOptions{Jobs: workers})
+			if err != nil {
+				t.Fatalf("scenario %d workers=%d: %v", scenario, workers, err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("scenario %d workers=%d: wrapper output differs from sequential reference", scenario, workers)
+			}
+		}
+	}
+}
+
+// TestFacadeSweepGridDuplicates: the spec-backed grid rejects duplicate
+// variant names instead of silently merging their series.
+func TestFacadeSweepGridDuplicates(t *testing.T) {
+	base := sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
+		Name:       "dup",
+		ContextSMs: sgprs.ContextPool(2, 1.5, 68),
+		NumTasks:   1,
+		HorizonSec: 2,
+	}
+	if _, _, err := sgprs.SweepGrid([]sgprs.RunConfig{base, base}, []int{2}, sgprs.SweepOptions{}); err == nil {
+		t.Fatal("duplicate variant names accepted")
+	}
+	// The degenerate empty-counts shape is preserved: every variant
+	// present with an empty series, no error.
+	series, order, err := sgprs.SweepGrid([]sgprs.RunConfig{base}, nil, sgprs.SweepOptions{})
+	if err != nil || len(order) != 1 || len(series["dup"]) != 0 {
+		t.Errorf("empty-counts grid = %v %v %v", series, order, err)
+	}
+}
+
+// TestFacadeDecorrelateSeeds: the spec-backed wrappers translate
+// DecorrelateSeeds into the spec's SeedDerived policy, stamping exactly the
+// per-point seeds the pre-spec expansion did.
+func TestFacadeDecorrelateSeeds(t *testing.T) {
+	base := sgprs.RunConfig{
+		Kind:          sgprs.KindSGPRS,
+		Name:          "sgprs",
+		ContextSMs:    sgprs.ContextPool(2, 1.5, 68),
+		NumTasks:      1,
+		HorizonSec:    2,
+		Seed:          7,
+		WorkVariation: 0.3, // seed-sensitive workload
+	}
+	counts := []int{2, 4}
+	opt := sgprs.SweepOptions{DecorrelateSeeds: true}
+	ref, err := runner.SweepSeries(context.Background(), base, counts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sgprs.SweepSeriesWith(base, counts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("decorrelated wrapper differs from the legacy expansion")
+	}
+	fixed, err := sgprs.SweepSeriesWith(base, counts, sgprs.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(fixed, got) {
+		t.Error("DecorrelateSeeds had no effect on a seed-sensitive workload")
 	}
 }
