@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-long lint experiments examples ci
+.PHONY: build test race bench bench-json bench-gate bench-long lint experiments examples ci
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,23 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-json: rewrite BENCH_3.json (machine-readable ns/op, B/op,
+## bench-json: rewrite BENCH_5.json (machine-readable ns/op, B/op,
 ## allocs/op, and custom metrics per benchmark) from a 3-iteration run,
-## printing the ns/op and allocs/op delta against the committed numbers
-## first. This is how the perf trajectory stays trackable across PRs.
+## printing the ns/op and allocs/op delta against BENCH_3.json — the frozen
+## pre-incremental-engine baseline — first. This is how the perf trajectory
+## stays trackable across PRs.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x . \
-		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_3.json -out BENCH_3.json
+		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_3.json -out BENCH_5.json
+
+## bench-gate: the CI allocation gate — re-run the pinned benches and fail
+## on a >25% allocs/op regression against the committed BENCH_5.json.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention' \
+		-benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_5.json -out /tmp/bench-current.json \
+			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/' \
+			-max-allocs-regress 25
 
 ## bench-long: the long-horizon memory benchmark alone — verifies that
 ## allocations per simulated second are independent of horizon length
@@ -52,4 +62,4 @@ examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/registry
 
-ci: lint build race examples bench
+ci: lint build race examples bench bench-gate

@@ -3,15 +3,25 @@
 // trackable across PRs (BENCH_<n>.json), and optionally compares the fresh
 // numbers — ns/op and allocs/op — against a committed baseline.
 //
-// The delta report is informational only: the command always exits 0 on
+// The delta report is informational by default: the command exits 0 on
 // valid input, whatever the regression, and a baseline benchmark missing
 // from the fresh run (renamed or retired) is a warning, not an error — so
 // CI can surface drift in the log without turning benchmark churn into a
 // gate.
 //
+// -gate promotes a pinned subset to a hard gate: every baseline benchmark
+// whose name matches the regexp must be present in the fresh run, and its
+// allocs/op must not regress by more than -max-allocs-regress percent.
+// Allocations — unlike ns/op — are deterministic enough to gate on with
+// single-iteration CI runs; a one-line leak in the simulator's steady state
+// multiplies allocs/op immediately.
+//
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem -benchtime 1x . | sgprs-benchjson -out BENCH_3.json -baseline BENCH_3.json
+//	go test -run '^$' -bench . -benchmem -benchtime 3x . | sgprs-benchjson -out BENCH_5.json -baseline BENCH_3.json
+//	go test -run '^$' -bench <pinned> -benchmem -benchtime 1x . | sgprs-benchjson -baseline BENCH_5.json \
+//	    -gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)|BenchmarkLongHorizon/' \
+//	    -max-allocs-regress 25
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,7 +61,16 @@ func main() {
 	log.SetPrefix("sgprs-benchjson: ")
 	out := flag.String("out", "", "write JSON here (default stdout)")
 	baseline := flag.String("baseline", "", "committed baseline JSON to diff against (report-only)")
+	gate := flag.String("gate", "", "regexp of baseline benchmarks whose allocs/op regressions fail the run")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 25, "allowed allocs/op regression for gated benchmarks, in percent")
 	flag.Parse()
+	var gateRE *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRE, err = regexp.Compile(*gate); err != nil {
+			log.Fatalf("bad -gate pattern: %v", err)
+		}
+	}
 
 	// Read the baseline before writing, so -out and -baseline may be the
 	// same file.
@@ -88,7 +108,48 @@ func main() {
 
 	if base != nil {
 		report(base, file)
+		if gateRE != nil {
+			if failures := checkGate(base, file, gateRE, *maxAllocsRegress); len(failures) > 0 {
+				for _, f := range failures {
+					fmt.Fprintf(os.Stderr, "GATE FAILURE: %s\n", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "allocs/op gate passed (limit +%.0f%%)\n", *maxAllocsRegress)
+		}
 	}
+}
+
+// checkGate enforces the allocs/op regression gate: every baseline benchmark
+// matching the pattern must appear in the fresh run (a silently renamed or
+// dropped pinned benchmark would otherwise dodge the gate forever) with
+// allocs/op within the allowed regression. Benchmarks without -benchmem data
+// on either side are skipped.
+func checkGate(base, cur *File, gate *regexp.Regexp, maxRegressPct float64) []string {
+	byName := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+	var failures []string
+	for _, o := range base.Benchmarks {
+		if !gate.MatchString(o.Name) {
+			continue
+		}
+		b, ok := byName[o.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("pinned benchmark %q missing from this run", o.Name))
+			continue
+		}
+		if o.AllocsPerOp < 0 || b.AllocsPerOp < 0 {
+			continue
+		}
+		limit := float64(o.AllocsPerOp) * (1 + maxRegressPct/100)
+		if float64(b.AllocsPerOp) > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+				o.Name, b.AllocsPerOp, o.AllocsPerOp, maxRegressPct))
+		}
+	}
+	return failures
 }
 
 // parse consumes `go test -bench` output. Benchmark lines look like

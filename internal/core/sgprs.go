@@ -157,11 +157,12 @@ type Scheduler struct {
 	ewmaPipeMS float64
 
 	// kernelPool recycles gpu.Kernel structs across stage launches, and
-	// stateOf maps a kernel's context (by device ID) back to its
-	// ctxState; together with the shared doneFn callback, a stage launch
-	// allocates no kernel and no closure.
+	// stateOf maps a kernel's context (by device ID, which is dense and
+	// assigned in creation order) back to its ctxState; together with the
+	// shared doneFn callback, a stage launch allocates no kernel and no
+	// closure, and a stage completion is a slice index, not a map probe.
 	kernelPool []*gpu.Kernel
-	stateOf    map[int]*ctxState
+	stateOf    []*ctxState
 	doneFn     func(k *gpu.Kernel, now des.Time)
 
 	// Stats.
@@ -242,7 +243,6 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 	if s.maxInflight < 1 {
 		s.maxInflight = 1
 	}
-	s.stateOf = map[int]*ctxState{}
 	s.doneFn = s.kernelDone
 	for i, sms := range s.cfg.ContextSMs {
 		ctx, err := dev.CreateContext(fmt.Sprintf("cp%d", i), sms)
@@ -257,6 +257,9 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 		}
 		c := &ctxState{ctx: ctx}
 		s.ctxs = append(s.ctxs, c)
+		for len(s.stateOf) <= ctx.ID() {
+			s.stateOf = append(s.stateOf, nil)
+		}
 		s.stateOf[ctx.ID()] = c
 	}
 	return nil
@@ -380,6 +383,10 @@ func (s *Scheduler) pickEarliestFinish() *ctxState {
 // high-priority stream picks up low work rather than letting a quarter of
 // the context's concurrency rot.
 func (s *Scheduler) dispatch(c *ctxState, now des.Time) {
+	if c.queue.Len() == 0 {
+		// Nothing to place: the stream scan below only acts by popping.
+		return
+	}
 	for _, stream := range c.ctx.Streams() {
 		// Busy is rechecked every iteration: a gate drop can activate a
 		// held frame, which may recursively dispatch onto this stream.

@@ -18,6 +18,20 @@ type Event struct {
 	at    Time
 	seq   uint64
 	index int // heap index, -1 when not queued
+	// trueAt/trueSeq are the event's authoritative firing key. They equal
+	// (at, seq) except while the event is stale: Reschedule to a later
+	// instant only updates the authoritative key and leaves the heap
+	// position — a lower bound — untouched, deferring the heap work until
+	// the stale position surfaces at the root, where the event is
+	// reinserted under its authoritative key instead of firing. Rates in
+	// the GPU model drop whenever a kernel joins the running set, pushing
+	// every completion later, so this turns the dominant reschedule
+	// direction into O(1). The stashed key is drawn from the same sequence
+	// counter at the same call as an eager reschedule would, so firing
+	// order is unchanged — see pool_test.go and reschedule_test.go.
+	trueAt  Time
+	trueSeq uint64
+	stale   bool
 	// Exactly one of fn / fnArg is set. The arg variants exist so hot
 	// paths can use a shared package-level function plus a context value
 	// instead of allocating a fresh closure per event.
@@ -32,7 +46,7 @@ type Event struct {
 }
 
 // At reports the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+func (e *Event) At() Time { return e.trueAt }
 
 // Label reports the diagnostic label given at scheduling time.
 func (e *Event) Label() string { return e.label }
@@ -51,12 +65,22 @@ func (e *Event) Pending() bool { return e.index >= 0 && !e.cancel }
 // function of the schedule calls, independent of the heap's internal layout
 // or of event reuse.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   []*Event
-	free    []*Event
-	stopped bool
-	fired   uint64
+	now   Time
+	seq   uint64
+	queue []*Event
+	// mono is the monotone lane: a head-indexed FIFO for detached events
+	// whose firing instants are nondecreasing by construction
+	// (AfterArgMonotone). Constant-delay hot paths — one kernel-launch
+	// event per kernel in the GPU model — enqueue and dequeue in O(1)
+	// here instead of paying two heap walks each. Events in the lane
+	// carry sequence numbers from the same counter as heap events, and
+	// dispatch always fires the (time, sequence)-least event across both
+	// structures, so the lane is invisible in the firing order.
+	mono     []*Event
+	monoHead int
+	free     []*Event
+	stopped  bool
+	fired    uint64
 }
 
 // NewEngine returns an engine positioned at the simulation epoch.
@@ -69,7 +93,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + len(e.mono) - e.monoHead }
 
 // FreeEvents reports the size of the event free list (diagnostics/tests).
 func (e *Engine) FreeEvents() int { return len(e.free) }
@@ -85,7 +109,7 @@ func (e *Engine) get(at Time, label string) *Event {
 	} else {
 		ev = &Event{}
 	}
-	*ev = Event{at: at, seq: e.seq, index: -1, label: label}
+	*ev = Event{at: at, seq: e.seq, trueAt: at, trueSeq: e.seq, index: -1, label: label}
 	e.seq++
 	return ev
 }
@@ -162,6 +186,55 @@ func (e *Engine) AfterArg(d Time, label string, fn func(now Time, arg any), arg 
 	e.push(ev)
 }
 
+// AfterArgMonotone is AfterArg for callers that schedule with a fixed delay:
+// because the clock never runs backwards, successive calls with one constant
+// d produce nondecreasing firing instants, and the event can ride the O(1)
+// monotone lane instead of the heap. Scheduling out of order (an instant
+// before a still-pending monotone event) panics — that means the caller's
+// delay is not actually constant.
+func (e *Engine) AfterArgMonotone(d Time, label string, fn func(now Time, arg any), arg any) {
+	at := e.now.Add(d)
+	e.checkSchedule(at, label, fn != nil)
+	if n := len(e.mono); n > e.monoHead && at < e.mono[n-1].at {
+		panic(fmt.Sprintf("des: monotone schedule %q at %v before pending %v", label, at, e.mono[n-1].at))
+	}
+	ev := e.get(at, label)
+	ev.fnArg = fn
+	ev.arg = arg
+	ev.detached = true
+	e.mono = append(e.mono, ev)
+}
+
+// popMono dequeues the monotone-lane head, rewinding the backing array once
+// the lane drains (the same reclaim discipline as the GPU stream FIFOs).
+func (e *Engine) popMono() *Event {
+	ev := e.mono[e.monoHead]
+	e.mono[e.monoHead] = nil
+	e.monoHead++
+	if e.monoHead == len(e.mono) {
+		e.mono = e.mono[:0]
+		e.monoHead = 0
+	}
+	return ev
+}
+
+// monoBefore reports whether the monotone-lane head fires before the heap
+// root (or the heap is empty). Both carry sequence numbers from the shared
+// counter, so the comparison is the engine's usual total order.
+func (e *Engine) monoBefore() bool {
+	if e.monoHead >= len(e.mono) {
+		return false
+	}
+	if len(e.queue) == 0 {
+		return true
+	}
+	m, h := e.mono[e.monoHead], e.queue[0]
+	if m.at != h.at {
+		return m.at < h.at
+	}
+	return m.seq < h.seq
+}
+
 // Cancel removes ev from the queue if it has not fired. Cancelling an
 // already-fired or already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -176,22 +249,52 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // Reschedule moves a pending event to a new instant, preserving its callback.
-// If the event already fired it is re-queued.
+// If the event already fired it is re-queued. Rescheduling a pending event to
+// the very instant it already occupies is a no-op: the event keeps its place
+// — and its sequence number, so it still orders before any event scheduled
+// after it at the same instant — and the heap is left untouched.
+//
+// Moving a pending event later is O(1): only the authoritative key changes
+// (see Event), and the heap repair is deferred until the stale position
+// reaches the root. Moving it earlier (below its heap key) decreases the
+// key, so an up-sift restores order.
 func (e *Engine) Reschedule(ev *Event, at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("des: reschedule %q at %v before now %v", ev.label, at, e.now))
 	}
 	if ev.index >= 0 {
-		ev.at = at
-		ev.seq = e.seq
+		if ev.trueAt == at {
+			return
+		}
+		if at >= ev.at {
+			ev.trueAt = at
+			ev.trueSeq = e.seq
+			e.seq++
+			ev.stale = true
+			return
+		}
+		ev.at, ev.trueAt = at, at
+		ev.seq, ev.trueSeq = e.seq, e.seq
 		e.seq++
-		e.fix(ev.index)
+		ev.stale = false
+		e.up(ev.index)
 		return
 	}
 	ev.cancel = false
-	ev.at = at
-	ev.seq = e.seq
+	ev.at, ev.trueAt = at, at
+	ev.seq, ev.trueSeq = e.seq, e.seq
 	e.seq++
+	ev.stale = false
+	e.push(ev)
+}
+
+// requeueStale reinserts a popped stale event under its authoritative key.
+// The key was assigned when the deferring Reschedule ran, so the event
+// orders against every other event exactly as an eager reschedule would
+// have placed it.
+func (e *Engine) requeueStale(ev *Event) {
+	ev.at, ev.seq = ev.trueAt, ev.trueSeq
+	ev.stale = false
 	e.push(ev)
 }
 
@@ -227,21 +330,41 @@ func (e *Engine) Reset() {
 		e.release(ev)
 	}
 	e.queue = e.queue[:0]
+	for i := e.monoHead; i < len(e.mono); i++ {
+		ev := e.mono[i]
+		e.mono[i] = nil
+		e.release(ev)
+	}
+	e.mono = e.mono[:0]
+	e.monoHead = 0
 	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
 }
 
 // Step fires the single earliest pending event and reports whether one fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.pop()
-		if ev.cancel {
-			// Cancelled retained events stay with their owner (it may
-			// Reschedule or Recycle them); only the engine-owned kind
-			// returns to the pool here.
-			if ev.detached {
-				e.release(ev)
+	for len(e.queue) > 0 || e.monoHead < len(e.mono) {
+		var ev *Event
+		if e.monoBefore() {
+			// Monotone-lane events are detached: they can never be
+			// cancelled, rescheduled, or stale.
+			ev = e.popMono()
+		} else {
+			ev = e.pop()
+			if ev.cancel {
+				// Cancelled retained events stay with their owner (it
+				// may Reschedule or Recycle them); only the
+				// engine-owned kind returns to the pool here.
+				if ev.detached {
+					e.release(ev)
+				}
+				continue
 			}
-			continue
+			if ev.stale {
+				// A deferred later-move surfaced: reinsert it under
+				// its authoritative key instead of firing.
+				e.requeueStale(ev)
+				continue
+			}
 		}
 		e.now = ev.at
 		e.fired++
@@ -270,16 +393,27 @@ func (e *Engine) Step() bool {
 func (e *Engine) RunUntil(horizon Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		next := e.queue[0]
-		if next.cancel {
-			ev := e.pop()
-			if ev.detached {
-				e.release(ev)
+		var next *Event
+		if e.monoBefore() {
+			next = e.mono[e.monoHead]
+		} else if len(e.queue) > 0 {
+			next = e.queue[0]
+			if next.cancel {
+				ev := e.pop()
+				if ev.detached {
+					e.release(ev)
+				}
+				continue
 			}
-			continue
+			if next.stale {
+				// Normalize before the horizon test: the stale heap
+				// key is only a lower bound on the authoritative
+				// firing instant.
+				e.requeueStale(e.pop())
+				continue
+			}
+		} else {
+			break
 		}
 		if next.at > horizon {
 			break
@@ -350,13 +484,6 @@ func (e *Engine) remove(i int) {
 		}
 	}
 	ev.index = -1
-}
-
-// fix restores heap order after the key of the event at index i changed.
-func (e *Engine) fix(i int) {
-	if !e.down(i) {
-		e.up(i)
-	}
 }
 
 func (e *Engine) up(i int) {

@@ -27,14 +27,25 @@ func (p Priority) String() string {
 	}
 }
 
+// Priority SM-sharing weights. They are small exact integers on purpose:
+// per-context weight sums maintained with += / -= as kernels start and
+// finish stay exact (integer float arithmetic never rounds below 2⁵³), so
+// the incrementally tracked sums are bit-identical to re-deriving them from
+// the running set — the foundation of the incremental rate engine
+// (DESIGN.md §10).
+const (
+	lowWeight  = 1
+	highWeight = 3
+)
+
 // weight is the SM-sharing weight within a context. High-priority kernels get
 // a 3:1 edge over low-priority ones, approximating CUDA's greedy
 // high-priority block scheduling without full preemption.
 func (p Priority) weight() float64 {
 	if p == HighPriority {
-		return 3
+		return highWeight
 	}
-	return 1
+	return lowWeight
 }
 
 // Context is a pre-created CUDA-like context owning a fixed SM allocation.
@@ -49,6 +60,43 @@ type Context struct {
 	streams []*Stream
 
 	activeKernels int // kernels currently executing in this context
+
+	// Incrementally maintained aggregates (DESIGN.md §10), updated by
+	// Device.start/complete instead of being re-derived from the global
+	// running set on every recompute:
+	//
+	//   - weightSum is the summed priority weight of the context's running
+	//     kernels — exact, because weights are small integers;
+	//   - running lists those kernels in admission order, so a fast-path
+	//     recompute visits exactly the kernels the full sweep would, in the
+	//     same order;
+	//   - gainQ is the context's fixed-point pure-gain sum, the per-context
+	//     slice of the device's conservative aggregate-ceiling bound.
+	weightSum float64
+	running   []*Kernel
+	gainQ     int64
+
+	// shareLow/shareHigh are the per-priority intra-context SM shares of
+	// the latest recompute. A context's kernels can take only two distinct
+	// weights, so the share expression alloc·w/weightSum has only two
+	// distinct values — computed once per context instead of once per
+	// kernel, with byte-identical arithmetic.
+	shareLow, shareHigh float64
+}
+
+// setShares precomputes both priority shares at the given SM allocation.
+// Only meaningful for busy contexts (weightSum > 0).
+func (c *Context) setShares(alloc float64) {
+	c.shareLow = alloc * lowWeight / c.weightSum
+	c.shareHigh = alloc * highWeight / c.weightSum
+}
+
+// share reads the precomputed share for k's priority.
+func (c *Context) share(k *Kernel) float64 {
+	if k.stream.priority == HighPriority {
+		return c.shareHigh
+	}
+	return c.shareLow
 }
 
 // ID reports the context's index in creation order.

@@ -58,6 +58,12 @@ type Config struct {
 	ContentionJitter float64
 	// Seed feeds every stochastic draw in the device.
 	Seed uint64
+	// DisableIncremental forces the full reference sweep on every
+	// running-set change instead of the dirty-context fast path
+	// (DESIGN.md §10). Results are bit-identical either way — the
+	// equivalence tests run both engines against each other — so this
+	// exists only as the retained reference those tests compare to.
+	DisableIncremental bool
 }
 
 // DefaultConfig returns the calibrated RTX 2080 Ti model parameters.
@@ -115,9 +121,34 @@ type Device struct {
 	// (indexed by context ID). recompute runs on every running-set change
 	// — twice per kernel — so allocating these per call dominated the
 	// simulator's allocation profile.
-	weightScratch []float64
 	allocScratch  []float64
 	cappedScratch []bool
+
+	// Incremental rate-engine state (DESIGN.md §10), maintained by
+	// start/complete alongside the per-context aggregates:
+	//
+	//   - busyDemand is the summed SM allocation of busy contexts (the
+	//     demand the full sweep used to re-derive every recompute);
+	//   - gainBoundQ is Σ Context.gainQ, the fixed-point conservative
+	//     upper bound on the pure gain sum; ceilingQ is the aggregate
+	//     ceiling on the same grid;
+	//   - shapeValid records that the previous recompute used the rigid
+	//     demand-fits allocation (ratio ≤ 1), making untouched contexts'
+	//     cached shares and pure gains reusable;
+	//   - lastScaled records that the stored rates carry a ceiling factor
+	//     (they are not the pure gains), so dropping back below the
+	//     ceiling must revert every kernel, not just the touched context.
+	busyDemand int
+	gainBoundQ int64
+	ceilingQ   int64
+	shapeValid bool
+	lastScaled bool
+
+	// fast/lean/full count which tier each running-set transition took
+	// (diagnostics; RecomputeStats).
+	fastRecomputes uint64
+	leanRecomputes uint64
+	fullRecomputes uint64
 
 	// Accounting.
 	completedKernels uint64
@@ -138,10 +169,12 @@ func NewDevice(eng *des.Engine, model *speedup.Model, cfg Config) (*Device, erro
 		return nil, fmt.Errorf("gpu: nil engine or model")
 	}
 	return &Device{
-		eng:   eng,
-		model: model,
-		cfg:   cfg,
-		rng:   deviceRNG(cfg.Seed),
+		eng:        eng,
+		model:      model,
+		cfg:        cfg,
+		rng:        deviceRNG(cfg.Seed),
+		ceilingQ:   quantizeCeiling(cfg.AggregateGainCap),
+		shapeValid: true,
 	}, nil
 }
 
@@ -163,6 +196,14 @@ func (d *Device) Reset(cfg Config) error {
 	d.running = d.running[:0]
 	d.lastUpdate = 0
 	d.observer = nil
+	d.busyDemand = 0
+	d.gainBoundQ = 0
+	d.ceilingQ = quantizeCeiling(cfg.AggregateGainCap)
+	d.shapeValid = true
+	d.lastScaled = false
+	d.fastRecomputes = 0
+	d.leanRecomputes = 0
+	d.fullRecomputes = 0
 	d.completedKernels = 0
 	d.busySMTime = 0
 	d.workDone = 0
@@ -239,11 +280,12 @@ func (d *Device) CreateContext(name string, sms int) (*Context, error) {
 // the device's SM count. Values above 1 mean the device is over-subscribed at
 // this instant.
 func (d *Device) DemandRatio() float64 {
-	demand := 0
-	for _, ctx := range d.contexts {
-		if ctx.activeKernels > 0 {
-			demand += ctx.sms
-		}
-	}
-	return float64(demand) / float64(d.cfg.TotalSMs)
+	return float64(d.busyDemand) / float64(d.cfg.TotalSMs)
+}
+
+// RecomputeStats reports how many running-set transitions took the
+// dirty-context fast path, the lean ceiling path, and the full reference
+// sweep (DESIGN.md §10).
+func (d *Device) RecomputeStats() (fast, lean, full uint64) {
+	return d.fastRecomputes, d.leanRecomputes, d.fullRecomputes
 }

@@ -265,9 +265,9 @@ func TestAggregateGainCapLimitsThroughput(t *testing.T) {
 	m := speedup.DefaultModel()
 	rawSum := 4 * m.Gain(speedup.Conv, 17)
 
-	run := func(cap float64) des.Time {
+	run := func(ceiling float64) des.Time {
 		cfg := quietConfig()
-		cfg.AggregateGainCap = cap
+		cfg.AggregateGainCap = ceiling
 		eng, dev := newTestDevice(t, cfg)
 		var done des.Time
 		for i := 0; i < 4; i++ {

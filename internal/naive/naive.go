@@ -79,6 +79,14 @@ type Scheduler struct {
 	// it — so the per-release map-and-slice rebuild is gone.
 	baseShares map[int][]speedup.WorkShare
 
+	// kernelPool recycles gpu.Kernel structs across releases, exactly as
+	// the SGPRS scheduler does for stage launches: with the job carried in
+	// Arg and the shared begin/done callbacks, a release allocates no
+	// kernel and no closures.
+	kernelPool []*gpu.Kernel
+	beginFn    func(k *gpu.Kernel, now des.Time)
+	doneFn     func(k *gpu.Kernel, now des.Time)
+
 	reconfigs uint64
 }
 
@@ -109,6 +117,8 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 	}
 	s.eng = eng
 	s.dev = dev
+	s.beginFn = s.kernelBegin
+	s.doneFn = s.kernelDone
 	for i, sms := range s.cfg.ContextSMs {
 		ctx, err := dev.CreateContext(fmt.Sprintf("part%d", i), sms)
 		if err != nil {
@@ -158,24 +168,50 @@ func (s *Scheduler) OnRelease(job *rt.Job, now des.Time) {
 		}
 		shares = scaled
 	}
-	label := "job"
+	k := s.getKernel()
 	if s.dev.HasObserver() {
-		label = job.Label()
+		k.Label = job.Label()
+	} else {
+		k.Label = "job"
 	}
-	k := &gpu.Kernel{
-		Label:   label,
-		Shares:  shares,
-		FixedMS: fixed,
-		OnStart: func(t des.Time) {
-			for _, st := range job.Stages {
-				st.MarkStarted(t)
-			}
-		},
-		OnComplete: func(t des.Time) {
-			for _, st := range job.Stages {
-				st.MarkFinished(t)
-			}
-		},
-	}
+	k.Shares = shares
+	k.FixedMS = fixed
+	k.Arg = job
+	k.OnBegin = s.beginFn
+	k.OnDone = s.doneFn
 	p.stream.Submit(k)
+}
+
+// getKernel pops a kernel from the free list or allocates one.
+func (s *Scheduler) getKernel() *gpu.Kernel {
+	if n := len(s.kernelPool); n > 0 {
+		k := s.kernelPool[n-1]
+		s.kernelPool[n-1] = nil
+		s.kernelPool = s.kernelPool[:n-1]
+		return k
+	}
+	return &gpu.Kernel{}
+}
+
+// kernelBegin is the shared start callback: the whole inference begins
+// executing, so every stage marks started at once.
+func (s *Scheduler) kernelBegin(k *gpu.Kernel, now des.Time) {
+	job := k.Arg.(*rt.Job)
+	for _, st := range job.Stages {
+		st.MarkStarted(now)
+	}
+}
+
+// kernelDone is the shared completion callback: it unpacks the job, hands
+// the kernel back to the free list (the device guarantees it no longer
+// touches it), and retires every stage — the final MarkFinished completes
+// the job and notifies its watcher, exactly when the OnComplete closure
+// used to.
+func (s *Scheduler) kernelDone(k *gpu.Kernel, now des.Time) {
+	job := k.Arg.(*rt.Job)
+	k.Reset()
+	s.kernelPool = append(s.kernelPool, k)
+	for _, st := range job.Stages {
+		st.MarkFinished(now)
+	}
 }

@@ -1,23 +1,19 @@
 package sched
 
-import (
-	"container/heap"
-
-	"sgprs/internal/rt"
-)
+import "sgprs/internal/rt"
 
 // EDFQueue is a deterministic earliest-deadline-first priority queue of stage
 // jobs. Ties on the absolute deadline break by (task ID, job index, stage
 // index) so simulations replay identically.
+//
+// The heap is concrete — no container/heap interface dispatch — mirroring the
+// des.Engine event queue: stage push/pop is on the per-dispatch hot path, and
+// the ordering key is total (no two distinct stage jobs compare equal), so
+// the pop sequence is a pure function of the pushes whatever the heap's
+// internal layout.
 type EDFQueue struct {
-	h edfHeap
+	h []*rt.StageJob
 }
-
-type edfHeap []*rt.StageJob
-
-func (h edfHeap) Len() int { return len(h) }
-
-func (h edfHeap) Less(i, j int) bool { return edfBefore(h[i], h[j]) }
 
 func edfBefore(a, b *rt.StageJob) bool {
 	if a.Deadline != b.Deadline {
@@ -32,29 +28,51 @@ func edfBefore(a, b *rt.StageJob) bool {
 	return a.Index < b.Index
 }
 
-func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *edfHeap) Push(x any)   { *h = append(*h, x.(*rt.StageJob)) }
-func (h *edfHeap) Pop() any {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return s
-}
-
 // Len reports the number of queued stages.
 func (q *EDFQueue) Len() int { return len(q.h) }
 
 // Push enqueues a stage job.
-func (q *EDFQueue) Push(s *rt.StageJob) { heap.Push(&q.h, s) }
+func (q *EDFQueue) Push(s *rt.StageJob) {
+	q.h = append(q.h, s)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !edfBefore(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
 
 // Pop removes and returns the earliest-deadline stage, or nil when empty.
 func (q *EDFQueue) Pop() *rt.StageJob {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(*rt.StageJob)
+	s := q.h[0]
+	n--
+	q.h[0] = q.h[n]
+	q.h[n] = nil
+	q.h = q.h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && edfBefore(q.h[right], q.h[left]) {
+			least = right
+		}
+		if !edfBefore(q.h[least], q.h[i]) {
+			break
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+	return s
 }
 
 // Peek returns the earliest-deadline stage without removing it, or nil.
@@ -92,10 +110,11 @@ func (m *MultiLevelQueue) Pop() *rt.StageJob {
 	return nil
 }
 
-// PopAtMost removes the most urgent stage whose level does not exceed max —
-// used to keep high-priority hardware streams from draining low work.
-func (m *MultiLevelQueue) PopAtMost(max, min rt.Level) *rt.StageJob {
-	for l := max; l >= min; l-- {
+// PopAtMost removes the most urgent stage whose level does not exceed
+// maxLevel — used to keep high-priority hardware streams from draining low
+// work.
+func (m *MultiLevelQueue) PopAtMost(maxLevel, minLevel rt.Level) *rt.StageJob {
+	for l := maxLevel; l >= minLevel; l-- {
 		if s := m.levels[l].Pop(); s != nil {
 			return s
 		}
