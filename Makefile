@@ -31,10 +31,10 @@ bench-json:
 ## bench-gate: the CI allocation gate — re-run the pinned benches and fail
 ## on a >25% allocs/op regression against the committed BENCH_5.json.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention' \
+	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention|BenchmarkOverloadTail' \
 		-benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_5.json -out /tmp/bench-current.json \
-			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/' \
+			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/|BenchmarkOverloadTail/' \
 			-max-allocs-regress 25
 
 ## bench-long: the long-horizon memory benchmark alone — verifies that

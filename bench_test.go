@@ -400,6 +400,42 @@ func BenchmarkLongHorizon(b *testing.B) {
 	}
 }
 
+// BenchmarkOverloadTail is the open-loop overload benchmark (the headline
+// cell of the overload-tail registry entry): SGPRS 1.5x versus the naive
+// baseline under Poisson arrivals at 1.5x the tasks' natural rate with a
+// one-frame SLO. SGPRS sheds the excess through late drops and keeps the
+// tail short; naive queues unboundedly and lets p99 grow with the backlog.
+// Drop rate, SLO hit rate, and tail latency are reported alongside the
+// allocation figures the CI gate pins.
+func BenchmarkOverloadTail(b *testing.B) {
+	run := func(cfg sgprs.RunConfig) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var res sgprs.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = sgprs.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := res.Summary
+			b.ReportMetric(s.DropRate, "drop_rate")
+			b.ReportMetric(s.SLOHitRate, "slo_hit_rate")
+			b.ReportMetric(s.RespP99MS, "p99_ms")
+			b.ReportMetric(s.QueueDepthMean, "queue_mean")
+		}
+	}
+	over := ablationBase()
+	over.Arrival = sgprs.PoissonArrival(45) // 1.5x the 30 fps natural rate
+	over.SLOMS = 1000.0 / 30.0
+	b.Run("sgprs-1.5x", run(over))
+	naive := over
+	naive.Kind = sgprs.KindNaive
+	naive.Name = "naive"
+	naive.ContextSMs = sgprs.ContextPool(3, 1.0, 68)
+	b.Run("naive", run(naive))
+}
+
 // BenchmarkDenseContention stresses the incremental rate engine where the
 // paper's dense-contention regimes live: many contexts × many streams, all
 // continuously busy, swept across demand ratios from half-subscribed to the

@@ -54,7 +54,14 @@ func main() {
 
 	if *list {
 		for _, s := range exp.List() {
+			axes := make([]string, len(s.Axes))
+			for i, a := range s.Axes {
+				axes[i] = a.String()
+			}
 			fmt.Printf("%-18s %-34s %s\n", s.Name, exp.Summarize(s), s.Description)
+			if len(axes) > 0 {
+				fmt.Printf("%-18s   axes: %s\n", "", strings.Join(axes, " "))
+			}
 		}
 		return
 	}

@@ -17,11 +17,18 @@
 // task structures) across every point it drains, and metrics stream as each
 // run progresses, so memory stays flat however long the -horizon.
 //
+// Open-loop traffic rides on any of these: -arrival swaps the closed-loop
+// periodic releases for a stochastic process (poisson, bursty, ...), -trace
+// replays a recorded arrival log, -rate sweeps the intensity as an extra
+// axis, and -slo reports a response-time objective's hit rate alongside the
+// overload metrics (drop rate, p99/p999, backlog depth).
+//
 // Usage:
 //
 //	sgprs-sweep -list
 //	sgprs-sweep -experiment jitter-ladder [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
-//	sgprs-sweep -scenario 1 [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
+//	sgprs-sweep -experiment overload-tail [-rate 1,1.5,2] [-slo 33.3]
+//	sgprs-sweep -scenario 1 [-arrival poisson] [-trace arrivals.csv] [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
 //	sgprs-sweep -config experiment.json
 package main
 
@@ -42,6 +49,7 @@ import (
 	"sgprs/internal/memo"
 	"sgprs/internal/report"
 	"sgprs/internal/runner"
+	"sgprs/internal/workload"
 )
 
 func main() {
@@ -59,6 +67,10 @@ func main() {
 	cfgPath := flag.String("config", "", "experiment JSON (overrides other flags)")
 	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization (re-profile every run)")
 	cacheStats := flag.Bool("offline-stats", false, "report offline-cache hit/miss counts on stderr")
+	arrival := flag.String("arrival", "", "open-loop arrival process: periodic|poisson|bursty|diurnal, optionally kind:rate (arrivals/s per task, 0 = natural rate; mmpp and full control via -config)")
+	tracePath := flag.String("trace", "", "replay a trace file (.csv or .json) as the arrival process (overrides -arrival)")
+	rates := flag.String("rate", "", "arrival-rate axis: comma-separated intensity multipliers (e.g. 1,1.25,1.5); needs -arrival, -trace, or an experiment with arrivals")
+	slo := flag.Float64("slo", 0, "response-time SLO in milliseconds (0 = none); reported as SLO hit rate")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +94,9 @@ func main() {
 
 	spec, err := resolveSpec(*cfgPath, *experiment, *scenario, *tasks, *horizon, *seed)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := applyTraffic(spec, *arrival, *tracePath, *rates, *slo); err != nil {
 		log.Fatal(err)
 	}
 
@@ -184,12 +199,97 @@ func resolveSpec(cfgPath, experiment string, scenario int, tasks string, horizon
 	return exp.Scenario(scenario, counts, horizon, seed)
 }
 
-// writeRegistry renders the experiment registry as an aligned table.
+// applyTraffic overlays the open-loop traffic flags on the resolved spec:
+// the arrival process (or trace) on every variant, the SLO, and the
+// arrival-rate axis. Empty flags leave the spec untouched, so registered
+// experiments with their own arrivals run as declared.
+func applyTraffic(spec *exp.Spec, arrival, tracePath, rates string, sloMS float64) error {
+	var proc workload.Arrival
+	switch {
+	case tracePath != "":
+		data, err := workload.LoadTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		proc = workload.Trace{Data: data}
+	case arrival != "":
+		p, err := parseArrival(arrival)
+		if err != nil {
+			return err
+		}
+		proc = p
+	}
+	for i := range spec.Variants {
+		if proc != nil {
+			spec.Variants[i].Arrival = proc
+		}
+		if sloMS > 0 {
+			spec.Variants[i].SLOMS = sloMS
+		}
+	}
+	if rates != "" {
+		var factors []float64
+		for _, part := range strings.Split(rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("invalid rate factor %q", part)
+			}
+			factors = append(factors, v)
+		}
+		replaced := false
+		for i := range spec.Axes {
+			if spec.Axes[i].Kind == exp.AxisRate {
+				spec.Axes[i] = exp.Rate(factors...)
+				replaced = true
+			}
+		}
+		if !replaced {
+			spec.Axes = append(spec.Axes, exp.Rate(factors...))
+		}
+	}
+	return nil
+}
+
+// parseArrival translates the -arrival flag ("poisson", "poisson:45",
+// "bursty:60", ...) into a process. Bursty gets 1 s ON / 1 s OFF windows
+// and diurnal one 5 s cycle up to the given peak; richer shapes (MMPP,
+// custom windows) go through a -config file's arrival block.
+func parseArrival(s string) (workload.Arrival, error) {
+	kind, rest, _ := strings.Cut(s, ":")
+	rate := 0.0
+	if rest != "" {
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid arrival rate %q", rest)
+		}
+		rate = v
+	}
+	switch strings.TrimSpace(kind) {
+	case "periodic":
+		return workload.Periodic{Rate: rate}, nil
+	case "poisson":
+		return workload.Poisson{Rate: rate}, nil
+	case "bursty":
+		return workload.Bursty{OnSec: 1, OffSec: 1, Rate: rate}, nil
+	case "diurnal":
+		return workload.Diurnal{PeriodSec: 5, MaxRate: rate}, nil
+	default:
+		return nil, fmt.Errorf("unknown arrival %q (want periodic, poisson, bursty, or diurnal; mmpp and traces via -config/-trace)", kind)
+	}
+}
+
+// writeRegistry renders the experiment registry as an aligned table,
+// including each experiment's axes with their value ranges.
 func writeRegistry(w *os.File) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprint(tw, "experiment\tshape\tdescription\t\n")
+	fmt.Fprint(tw, "experiment\tshape\taxes\tdescription\t\n")
 	for _, s := range exp.List() {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t\n", s.Name, exp.Summarize(s), s.Description)
+		axes := make([]string, len(s.Axes))
+		for i, a := range s.Axes {
+			axes[i] = a.String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t\n",
+			s.Name, exp.Summarize(s), strings.Join(axes, " "), s.Description)
 	}
 	return tw.Flush()
 }

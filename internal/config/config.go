@@ -9,6 +9,7 @@ import (
 
 	"sgprs/internal/exp"
 	"sgprs/internal/sim"
+	"sgprs/internal/workload"
 )
 
 // Experiment is the serialisable description of a figure regeneration run.
@@ -34,6 +35,69 @@ type Experiment struct {
 	// Variants lists the scheduler configurations to sweep; empty means
 	// the paper's four (naive + SGPRS at 1.0/1.5/2.0x).
 	Variants []Variant `json:"variants,omitempty"`
+	// Arrival switches every variant to an open-loop arrival process;
+	// omitted keeps the classic closed-loop periodic releases.
+	Arrival *Arrival `json:"arrival,omitempty"`
+	// SLOMS is the response-time objective in milliseconds (0 = none).
+	SLOMS float64 `json:"slo_ms,omitempty"`
+	// RateFactors adds an arrival-rate axis multiplying the arrival
+	// intensity per sweep cell; requires Arrival.
+	RateFactors []float64 `json:"rate_factors,omitempty"`
+}
+
+// Arrival is the serialisable arrival-process description; Build translates
+// it into the workload layer's process value.
+type Arrival struct {
+	// Kind selects the process: "periodic", "poisson", "bursty", "mmpp",
+	// "diurnal", or "trace".
+	Kind string `json:"kind"`
+	// Rate is the per-task arrival rate, arrivals per second (periodic:
+	// a multiple of the natural rate). 0 means each task's natural rate.
+	Rate float64 `json:"rate,omitempty"`
+	// OnSec and OffSec are the bursty window lengths, seconds.
+	OnSec  float64 `json:"on_sec,omitempty"`
+	OffSec float64 `json:"off_sec,omitempty"`
+	// RatesPerSec and MeanSojournSec are the MMPP state lists.
+	RatesPerSec    []float64 `json:"rates_per_sec,omitempty"`
+	MeanSojournSec []float64 `json:"mean_sojourn_sec,omitempty"`
+	// PeriodSec, MinRate, and MaxRate shape the diurnal curve.
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	MinRate   float64 `json:"min_rate,omitempty"`
+	MaxRate   float64 `json:"max_rate,omitempty"`
+	// Trace is the trace file path (CSV or JSON) for kind "trace".
+	Trace string `json:"trace,omitempty"`
+	// Speed is the trace replay speed (0 = as recorded).
+	Speed float64 `json:"speed,omitempty"`
+}
+
+// Build translates the description into a workload arrival process,
+// loading the trace file for kind "trace".
+func (a *Arrival) Build() (workload.Arrival, error) {
+	var p workload.Arrival
+	switch a.Kind {
+	case "periodic":
+		p = workload.Periodic{Rate: a.Rate}
+	case "poisson":
+		p = workload.Poisson{Rate: a.Rate}
+	case "bursty":
+		p = workload.Bursty{OnSec: a.OnSec, OffSec: a.OffSec, Rate: a.Rate}
+	case "mmpp":
+		p = workload.MMPP{RatesPerSec: a.RatesPerSec, MeanSojournSec: a.MeanSojournSec}
+	case "diurnal":
+		p = workload.Diurnal{PeriodSec: a.PeriodSec, MinRate: a.MinRate, MaxRate: a.MaxRate}
+	case "trace":
+		data, err := workload.LoadTrace(a.Trace)
+		if err != nil {
+			return nil, err
+		}
+		p = workload.Trace{Data: data, Speed: a.Speed}
+	default:
+		return nil, fmt.Errorf("config: unknown arrival kind %q (want periodic, poisson, bursty, mmpp, diurnal, or trace)", a.Kind)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("config: arrival: %w", err)
+	}
+	return p, nil
 }
 
 // Variant is one serialisable scheduler configuration.
@@ -102,6 +166,12 @@ func (e *Experiment) Normalize() error {
 			}
 		}
 	}
+	if e.SLOMS < 0 {
+		return fmt.Errorf("config: slo_ms %v must be non-negative", e.SLOMS)
+	}
+	if len(e.RateFactors) > 0 && e.Arrival == nil {
+		return fmt.Errorf("config: rate_factors need an arrival block")
+	}
 	return nil
 }
 
@@ -110,6 +180,14 @@ func (e *Experiment) Normalize() error {
 func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
 	if err := e.Normalize(); err != nil {
 		return nil, err
+	}
+	var arrival workload.Arrival
+	if e.Arrival != nil {
+		p, err := e.Arrival.Build()
+		if err != nil {
+			return nil, err
+		}
+		arrival = p
 	}
 	var out []sim.RunConfig
 	for _, v := range e.Variants {
@@ -140,6 +218,8 @@ func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
 			HorizonSec: e.HorizonSec,
 			WarmUpSec:  e.WarmUpSec,
 			Seed:       e.Seed,
+			Arrival:    arrival,
+			SLOMS:      e.SLOMS,
 		})
 	}
 	return out, nil
@@ -156,6 +236,10 @@ func (e *Experiment) Spec(name string) (*exp.Spec, error) {
 	s := exp.Grid(bases, e.TaskCounts)
 	s.Name = name
 	s.Description = "JSON experiment file"
+	if len(e.RateFactors) > 0 {
+		// Prepend so the task axis stays innermost (Grid's contract).
+		s.Axes = append([]exp.Axis{exp.Rate(e.RateFactors...)}, s.Axes...)
+	}
 	return s, nil
 }
 

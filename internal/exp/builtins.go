@@ -5,6 +5,7 @@ import (
 
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
+	"sgprs/internal/workload"
 )
 
 // Scenario builds the spec for one paper scenario (1 or 2): the naive
@@ -99,5 +100,55 @@ func init() {
 		Description: "SGPRS (3 contexts) across over-subscription 1.0..2.0 at saturating loads",
 		Variants:    []sim.RunConfig{sgprs15("sgprs", 3)},
 		Axes:        []Axis{OverSub(1.0, 1.25, 1.5, 1.75, 2.0), Tasks(20, 22, 24, 26, 28)},
+	})
+
+	// Overload tail study: open-loop Poisson arrivals at each task's
+	// natural rate, pushed past saturation by the rate axis. The overload
+	// metrics — drop rate, p99/p999 response, SLO hit rate, backlog depth
+	// — separate SGPRS's late-drop shedding from the naive scheduler's
+	// unbounded queueing. SLO = one frame period at 30 fps.
+	overSGPRS := sgprs15("sgprs-1.5x", 3)
+	overSGPRS.Arrival = workload.Poisson{}
+	overSGPRS.SLOMS = 1000.0 / 30.0
+	overNaive := sim.RunConfig{
+		Kind:       sim.KindNaive,
+		Name:       "naive",
+		ContextSMs: sim.ContextPool(3, 1.0, speedup.DeviceSMs),
+		HorizonSec: 10,
+		Seed:       1,
+		NumTasks:   1,
+		Arrival:    workload.Poisson{},
+		SLOMS:      1000.0 / 30.0,
+	}
+	MustRegister(&Spec{
+		Name:        "overload-tail",
+		Description: "SGPRS 1.5x vs naive (3 contexts) under open-loop Poisson arrivals, rate-swept past saturation: drop rate and tail latency",
+		Variants:    []sim.RunConfig{overSGPRS, overNaive},
+		Axes:        []Axis{Rate(1.0, 1.25, 1.5, 2.0), Tasks(8, 16, 24)},
+	})
+
+	// Trace replay: both schedulers driven by one shared synthetic arrival
+	// log (Poisson at 60 rows/s over 8 s, pre-generated so every variant
+	// and worker count replays the identical timestamps). Swapping in a
+	// production trace is a LoadTrace call on a copy of this spec.
+	trace := workload.SyntheticTrace("synthetic-60", 7, 60, 8, 8)
+	traceSGPRS := sgprs15("sgprs-1.5x", 2)
+	traceSGPRS.Arrival = workload.Trace{Data: trace}
+	traceSGPRS.SLOMS = 1000.0 / 30.0
+	traceNaive := sim.RunConfig{
+		Kind:       sim.KindNaive,
+		Name:       "naive",
+		ContextSMs: sim.ContextPool(2, 1.0, speedup.DeviceSMs),
+		HorizonSec: 10,
+		Seed:       1,
+		NumTasks:   1,
+		Arrival:    workload.Trace{Data: trace},
+		SLOMS:      1000.0 / 30.0,
+	}
+	MustRegister(&Spec{
+		Name:        "trace-replay",
+		Description: "SGPRS 1.5x vs naive (2 contexts) replaying a shared synthetic arrival trace (60 rows/s, 8 s)",
+		Variants:    []sim.RunConfig{traceSGPRS, traceNaive},
+		Axes:        []Axis{Tasks(4, 8)},
 	})
 }

@@ -26,6 +26,7 @@ import (
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
+	"sgprs/internal/workload"
 )
 
 // AxisKind identifies a sweep dimension of the run configuration.
@@ -33,7 +34,8 @@ type AxisKind int
 
 // Axis kinds. AxisTasks is the classic figure abscissa (task count); the
 // others sweep load shape (over-subscription, frame rate, release jitter,
-// execution-demand variation) or measurement length (horizon).
+// execution-demand variation, arrival intensity, the arrival process
+// itself) or measurement length (horizon).
 const (
 	AxisTasks AxisKind = iota
 	AxisOverSub
@@ -41,7 +43,18 @@ const (
 	AxisJitterMS
 	AxisWorkVar
 	AxisHorizonSec
+	AxisRate
+	AxisArrival
 )
+
+// Kinds lists every axis kind in declaration order — the facade's
+// AxisKinds and the CLIs' -list output build on it.
+func Kinds() []AxisKind {
+	return []AxisKind{
+		AxisTasks, AxisOverSub, AxisFPS, AxisJitterMS,
+		AxisWorkVar, AxisHorizonSec, AxisRate, AxisArrival,
+	}
+}
 
 // String names the axis the way validation errors report it.
 func (k AxisKind) String() string {
@@ -58,6 +71,10 @@ func (k AxisKind) String() string {
 		return "work-variation"
 	case AxisHorizonSec:
 		return "horizon-sec"
+	case AxisRate:
+		return "arrival-rate"
+	case AxisArrival:
+		return "arrival"
 	default:
 		return fmt.Sprintf("axis(%d)", int(k))
 	}
@@ -79,18 +96,74 @@ func (k AxisKind) key() string {
 		return "var"
 	case AxisHorizonSec:
 		return "h"
+	case AxisRate:
+		return "rate"
+	case AxisArrival:
+		return "arr"
 	default:
 		return k.String()
 	}
 }
 
 // Axis is one typed sweep dimension: a kind plus its value list. Use the
-// constructors (Tasks, OverSub, FPS, JitterMS, WorkVar, HorizonSec) — they
-// document the units. Task counts are stored as float64 like every other
-// axis but must be integral; Compile rejects fractional values.
+// constructors (Tasks, OverSub, FPS, JitterMS, WorkVar, HorizonSec, Rate,
+// Arrivals) — they document the units. Task counts are stored as float64
+// like every other axis but must be integral; Compile rejects fractional
+// values. The arrival axis alone is non-numeric: its points live in
+// Arrivals and Values stays empty.
 type Axis struct {
 	Kind   AxisKind
 	Values []float64
+	// Arrivals are the points of an AxisArrival axis (exclusive with
+	// Values).
+	Arrivals []workload.Arrival
+}
+
+// len reports the number of sweep points on the axis.
+func (a Axis) len() int {
+	if a.Kind == AxisArrival {
+		return len(a.Arrivals)
+	}
+	return len(a.Values)
+}
+
+// String renders the axis with its value range — "task-count=1..30",
+// "arrival-rate=1,1.25,1.5", "arrival=poisson,bursty-1/1" — the form
+// sgprs-sweep -list prints per experiment.
+func (a Axis) String() string {
+	if a.Kind == AxisArrival {
+		names := make([]string, len(a.Arrivals))
+		for i, p := range a.Arrivals {
+			if p == nil {
+				names[i] = "nil"
+				continue
+			}
+			names[i] = p.Name()
+		}
+		return a.Kind.String() + "=" + strings.Join(names, ",")
+	}
+	if n := len(a.Values); n > 2 && contiguousInts(a.Values) {
+		return fmt.Sprintf("%s=%g..%g", a.Kind, a.Values[0], a.Values[n-1])
+	}
+	parts := make([]string, len(a.Values))
+	for i, v := range a.Values {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return a.Kind.String() + "=" + strings.Join(parts, ",")
+}
+
+// contiguousInts reports whether vs is an ascending run of consecutive
+// integers — collapsible to "lo..hi" in display.
+func contiguousInts(vs []float64) bool {
+	for i, v := range vs {
+		if v != math.Trunc(v) {
+			return false
+		}
+		if i > 0 && v != vs[i-1]+1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Tasks is the task-count axis (sets RunConfig.NumTasks).
@@ -129,10 +202,42 @@ func WorkVar(fracs ...float64) Axis { return Axis{Kind: AxisWorkVar, Values: fra
 // HorizonSec sweeps the simulated measurement horizon, seconds.
 func HorizonSec(secs ...float64) Axis { return Axis{Kind: AxisHorizonSec, Values: secs} }
 
+// Rate sweeps the arrival intensity: each value multiplies the variant's
+// arrival process via workload.Arrival.Scale (1.0 = the template's own
+// rate). The variant must carry a non-nil Arrival — set one on the
+// template or add an Arrivals axis; Compile rejects the combination
+// otherwise. Applied after the arrival axis, so the two compose.
+func Rate(factors ...float64) Axis { return Axis{Kind: AxisRate, Values: factors} }
+
+// Arrivals sweeps the arrival process itself — e.g. periodic vs Poisson vs
+// bursty at matched average rate. Points are labeled by Arrival.Name.
+func Arrivals(procs ...workload.Arrival) Axis { return Axis{Kind: AxisArrival, Arrivals: procs} }
+
 // validate checks the axis's value ranges. Variant-dependent constraints
-// (an over-subscription axis needs a context pool to rescale) are checked
-// during expansion, where the variant can be named.
+// (an over-subscription axis needs a context pool to rescale, a rate axis
+// an arrival process) are checked during expansion, where the variant can
+// be named.
 func (a Axis) validate(spec string) error {
+	if a.Kind == AxisArrival {
+		if len(a.Values) > 0 {
+			return fmt.Errorf("exp: spec %q: arrival axis carries numeric Values; its points go in Arrivals", spec)
+		}
+		if len(a.Arrivals) == 0 {
+			return fmt.Errorf("exp: spec %q: empty %s axis", spec, a.Kind)
+		}
+		for i, p := range a.Arrivals {
+			if p == nil {
+				return fmt.Errorf("exp: spec %q: arrival axis point %d is nil", spec, i)
+			}
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("exp: spec %q: arrival axis %s: %w", spec, p.Name(), err)
+			}
+		}
+		return nil
+	}
+	if len(a.Arrivals) > 0 {
+		return fmt.Errorf("exp: spec %q: %s axis carries Arrivals; only the arrival axis may", spec, a.Kind)
+	}
 	if len(a.Values) == 0 {
 		return fmt.Errorf("exp: spec %q: empty %s axis", spec, a.Kind)
 	}
@@ -146,6 +251,10 @@ func (a Axis) validate(spec string) error {
 		case AxisOverSub, AxisFPS, AxisHorizonSec:
 			if !(v > 0) {
 				bad = "must be positive"
+			}
+		case AxisRate:
+			if !(v > 0) || math.IsInf(v, 0) {
+				bad = "must be positive and finite"
 			}
 		case AxisJitterMS, AxisWorkVar:
 			if !(v >= 0) {
@@ -208,7 +317,15 @@ func (s *Spec) Clone() *Spec {
 	}
 	c.Axes = make([]Axis, len(s.Axes))
 	for i, a := range s.Axes {
-		c.Axes[i] = Axis{Kind: a.Kind, Values: append([]float64(nil), a.Values...)}
+		c.Axes[i] = Axis{
+			Kind:   a.Kind,
+			Values: append([]float64(nil), a.Values...),
+		}
+		// Arrival implementations are immutable values (trace data is
+		// shared read-only), so copying the slice is a deep copy.
+		if len(a.Arrivals) > 0 {
+			c.Axes[i].Arrivals = append([]workload.Arrival(nil), a.Arrivals...)
+		}
 	}
 	return &c
 }
@@ -305,15 +422,27 @@ func (s *Spec) Compile() (*Compiled, error) {
 			if len(sweep) > 0 {
 				parts := make([]string, len(sweep))
 				for i, a := range sweep {
-					parts[i] = a.Kind.key() + "=" + strconv.FormatFloat(a.Values[combo[i]], 'g', -1, 64)
+					if a.Kind == AxisArrival {
+						parts[i] = a.Kind.key() + "=" + a.Arrivals[combo[i]].Name()
+					} else {
+						parts[i] = a.Kind.key() + "=" + strconv.FormatFloat(a.Values[combo[i]], 'g', -1, 64)
+					}
 				}
 				label += "@" + strings.Join(parts, ",")
 			}
 			cfg := v
 			cfg.Name = label
-			for i, a := range sweep {
-				if err := applyAxis(&cfg, a.Kind, a.Values[combo[i]]); err != nil {
-					return nil, fmt.Errorf("exp: spec %q variant %q: %w", s.Name, label, err)
+			// Two passes: the rate axis scales cfg.Arrival, so it must
+			// see the arrival axis's assignment first regardless of the
+			// axes' declaration order.
+			for pass := 0; pass < 2; pass++ {
+				for i, a := range sweep {
+					if (a.Kind == AxisRate) != (pass == 1) {
+						continue
+					}
+					if err := applyAxis(&cfg, a, combo[i]); err != nil {
+						return nil, fmt.Errorf("exp: spec %q variant %q: %w", s.Name, label, err)
+					}
 				}
 			}
 			counts := c.TaskCounts
@@ -340,7 +469,7 @@ func (s *Spec) Compile() (*Compiled, error) {
 			i := len(sweep) - 1
 			for ; i >= 0; i-- {
 				combo[i]++
-				if combo[i] < len(sweep[i].Values) {
+				if combo[i] < sweep[i].len() {
 					break
 				}
 				combo[i] = 0
@@ -353,20 +482,25 @@ func (s *Spec) Compile() (*Compiled, error) {
 	return c, nil
 }
 
-// applyAxis writes one axis value into a run configuration.
-func applyAxis(cfg *sim.RunConfig, k AxisKind, v float64) error {
-	switch k {
+// applyAxis writes the axis's idx-th point into a run configuration.
+func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
+	if a.Kind == AxisArrival {
+		cfg.Arrival = a.Arrivals[idx]
+		return nil
+	}
+	v := a.Values[idx]
+	switch a.Kind {
 	case AxisOverSub:
 		np := len(cfg.ContextSMs)
 		if np == 0 {
-			return fmt.Errorf("%s axis needs a context pool on the variant template", k)
+			return fmt.Errorf("%s axis needs a context pool on the variant template", a.Kind)
 		}
 		total := cfg.GPU.TotalSMs
 		if total == 0 {
 			total = speedup.DeviceSMs
 		}
 		if total < 0 {
-			return fmt.Errorf("%s axis cannot rescale a device with %d SMs", k, total)
+			return fmt.Errorf("%s axis cannot rescale a device with %d SMs", a.Kind, total)
 		}
 		cfg.ContextSMs = sim.ContextPool(np, v, total)
 	case AxisFPS:
@@ -377,8 +511,13 @@ func applyAxis(cfg *sim.RunConfig, k AxisKind, v float64) error {
 		cfg.WorkVariation = v
 	case AxisHorizonSec:
 		cfg.HorizonSec = v
+	case AxisRate:
+		if cfg.Arrival == nil {
+			return fmt.Errorf("%s axis needs an arrival process on the variant (set RunConfig.Arrival or add an arrival axis)", a.Kind)
+		}
+		cfg.Arrival = cfg.Arrival.Scale(v)
 	default:
-		return fmt.Errorf("cannot apply %s axis", k)
+		return fmt.Errorf("cannot apply %s axis", a.Kind)
 	}
 	return nil
 }

@@ -89,7 +89,7 @@ func Summarize(s *Spec) string {
 	}
 	axes := make([]string, 0, len(s.Axes))
 	for _, a := range s.Axes {
-		axes = append(axes, fmt.Sprintf("%s[%d]", a.Kind.key(), len(a.Values)))
+		axes = append(axes, fmt.Sprintf("%s[%d]", a.Kind.key(), a.len()))
 	}
 	if len(axes) == 0 {
 		axes = append(axes, "fixed")

@@ -3,22 +3,20 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"sgprs/internal/des"
 	"sgprs/internal/rt"
-	"sgprs/internal/stats"
 )
 
 // Collector is the streaming counterpart of Evaluate: it consumes job
 // lifecycle events as the simulation produces them — releases from the
 // workload generator, completions from the schedulers via rt.JobWatcher —
-// and retains only counters plus one response-time float per released job.
-// The jobs themselves can be recycled the moment they are recorded, so a
-// run's live memory is O(in-flight jobs) instead of O(all jobs ever
-// released).
+// and retains only counters, one response-time float per released job, and
+// one backlog interval per job. The jobs themselves can be recycled the
+// moment they are recorded, so a run's live memory is O(in-flight jobs)
+// instead of O(all jobs ever released).
 //
-// Bit-identity with Evaluate is a hard invariant (the repository's
+// Bit-identity with EvaluateSLO is a hard invariant (the repository's
 // sim-determinism rule: no order-sensitive float accumulation may change).
 // Evaluate walks the generator's job list in release order, so its
 // response-time mean sums floats in release order and its quantiles sort
@@ -27,8 +25,12 @@ import (
 // writing the response time into that slot at completion time: completions
 // may arrive in any order, but Summary folds the slots back in release
 // order. Unfilled slots (jobs that never finished) hold NaN and are skipped,
-// exactly as Evaluate skips jobs with Done unset. TestCollectorMatchesEvaluate
-// and the sim streaming-equivalence tests pin this.
+// exactly as Evaluate skips jobs with Done unset. The admission-backlog
+// profile is likewise order-independent: every released job gets an
+// interval record (Job.BacklogSlot) whose endpoints match what EvaluateSLO
+// reads off retained jobs, and queueDepth derives the depth statistics from
+// the interval multiset alone. TestCollectorMatchesEvaluate and the sim
+// streaming-equivalence tests pin all of this.
 //
 // Missed-job accounting needs no deadline timers: an in-window released job
 // has Deadline < horizon by construction, so at the horizon every such job
@@ -40,19 +42,29 @@ import (
 // which equals Evaluate's per-job Missed scan.
 type Collector struct {
 	warmUp, horizon des.Time
+	sloMS           float64
 
 	released          int // in-window released jobs (deadline decidable)
 	completed         int // finishes inside the window, released or not
 	completedReleased int // in-window released jobs that finished
 	lateCompleted     int // …of which after their deadline
+	dropped           int // in-window released jobs discarded
 
 	// resp holds one response-time slot per in-window released job, in
 	// release order; NaN marks a job that has not (yet) finished.
 	resp []float64
+	// starts and ends hold one backlog interval per released job (all of
+	// them, unlike resp), in release order: the release instant paired
+	// with the completion/discard instant, des.Never while pending.
+	starts, ends []des.Time
 	// scratch and sorted are Summary's reused buffers: the release-order
 	// compaction (mean summation order) and its sorted copy (quantiles).
 	scratch []float64
 	sorted  []float64
+	// depthStarts and depthEnds are queueDepth's reused sort scratch —
+	// the live interval slices cannot be sorted in place without breaking
+	// the BacklogSlot indexing.
+	depthStarts, depthEnds []des.Time
 }
 
 // NewCollector builds a collector for the measurement window [warmUp,
@@ -64,21 +76,32 @@ func NewCollector(warmUp, horizon des.Time) *Collector {
 }
 
 // Reset rearms the collector for a new run over [warmUp, horizon), retaining
-// its buffers.
+// its buffers. The SLO is cleared; call SetSLO after Reset to configure one.
 func (c *Collector) Reset(warmUp, horizon des.Time) {
 	if horizon <= warmUp {
 		panic(fmt.Sprintf("metrics: horizon %v not after warm-up %v", horizon, warmUp))
 	}
 	c.warmUp, c.horizon = warmUp, horizon
-	c.released, c.completed, c.completedReleased, c.lateCompleted = 0, 0, 0, 0
+	c.sloMS = 0
+	c.released, c.completed, c.completedReleased, c.lateCompleted, c.dropped = 0, 0, 0, 0, 0
 	c.resp = c.resp[:0]
+	c.starts = c.starts[:0]
+	c.ends = c.ends[:0]
 }
+
+// SetSLO configures the response-time objective, milliseconds (0 = none),
+// matching EvaluateSLO's parameter. Call after Reset, before the run.
+func (c *Collector) SetSLO(ms float64) { c.sloMS = ms }
 
 // JobReleased records a release. It must be called once per job, in release
 // order (the workload generator's event order), before the job reaches a
-// scheduler. In-window jobs get a response-time slot; jobs whose deadline
-// window extends past the measurement interval are marked out-of-window.
+// scheduler. Every job gets a backlog-interval record; in-window jobs
+// additionally get a response-time slot, and jobs whose deadline window
+// extends past the measurement interval are marked out-of-window.
 func (c *Collector) JobReleased(j *rt.Job, now des.Time) {
+	j.BacklogSlot = len(c.starts)
+	c.starts = append(c.starts, j.Release)
+	c.ends = append(c.ends, des.Never)
 	if j.Release < c.warmUp || j.Deadline >= c.horizon {
 		j.MetricsSlot = -1
 		return
@@ -93,6 +116,9 @@ func (c *Collector) JobReleased(j *rt.Job, now des.Time) {
 // inside it (the device was busy with it either way); response times are
 // recorded for in-window released jobs only, into their release-order slot.
 func (c *Collector) JobDone(j *rt.Job, now des.Time) {
+	if j.BacklogSlot >= 0 {
+		c.ends[j.BacklogSlot] = now
+	}
 	if now >= c.warmUp && now < c.horizon {
 		c.completed++
 	}
@@ -105,10 +131,18 @@ func (c *Collector) JobDone(j *rt.Job, now des.Time) {
 	}
 }
 
-// JobDiscarded implements rt.JobWatcher. A discarded in-window job simply
-// never fills its slot: it is counted missed at Summary time, exactly like a
-// job still unfinished at the horizon.
-func (c *Collector) JobDiscarded(j *rt.Job, now des.Time) {}
+// JobDiscarded implements rt.JobWatcher. A discarded job leaves the
+// backlog at the discard instant and counts as dropped when it was released
+// in-window; its response slot stays unfilled, so it is counted missed at
+// Summary time, exactly like a job still unfinished at the horizon.
+func (c *Collector) JobDiscarded(j *rt.Job, now des.Time) {
+	if j.BacklogSlot >= 0 {
+		c.ends[j.BacklogSlot] = now
+	}
+	if j.MetricsSlot >= 0 {
+		c.dropped++
+	}
+}
 
 // Summary folds the counters into the run summary. It may be called once the
 // simulation has run to the horizon; calling it earlier summarises the
@@ -120,32 +154,23 @@ func (c *Collector) Summary() Summary {
 		Released:  c.released,
 		Completed: c.completed,
 		Missed:    c.lateCompleted + (c.released - c.completedReleased),
+		Dropped:   c.dropped,
 	}
-	window := (c.horizon - c.warmUp).Seconds()
-	s.TotalFPS = float64(s.Completed) / window
-	if s.Released > 0 {
-		s.DMR = float64(s.Missed) / float64(s.Released)
-	}
+	// Compact the slots in release order — Evaluate's iteration order —
+	// and count SLO hits over the identical float comparisons.
 	resp := c.scratch[:0]
+	sloHits := 0
 	for _, r := range c.resp {
 		if !math.IsNaN(r) {
 			resp = append(resp, r)
+			if c.sloMS > 0 && r <= c.sloMS {
+				sloHits++
+			}
 		}
 	}
 	c.scratch = resp
-	if len(resp) > 0 {
-		// Mean sums in release order — Evaluate's order. Quantiles read
-		// one sorted copy; sorting yields the same order statistics as
-		// Quantile's internal per-call sort, so the values are
-		// bit-identical to Evaluate's (Quantile delegates to
-		// QuantileSorted).
-		s.RespMeanMS = stats.Mean(resp)
-		sorted := append(c.sorted[:0], resp...)
-		sort.Float64s(sorted)
-		c.sorted = sorted
-		s.RespP50MS = stats.QuantileSorted(sorted, 0.50)
-		s.RespP99MS = stats.QuantileSorted(sorted, 0.99)
-		s.RespMaxMS = stats.QuantileSorted(sorted, 1.0)
-	}
+	c.depthStarts = append(c.depthStarts[:0], c.starts...)
+	c.depthEnds = append(c.depthEnds[:0], c.ends...)
+	c.sorted = s.finish(resp, c.sorted[:0], c.depthStarts, c.depthEnds, c.sloMS, sloHits)
 	return s
 }

@@ -29,29 +29,34 @@ func mkTask(t *testing.T, id int, period des.Time) *rt.Task {
 }
 
 // replay feeds the jobs' lifecycle into a fresh collector: releases in
-// release order (as the generator would), completions in the order given by
-// perm over the completed jobs. Returns the streaming summary.
-func replay(jobs []*rt.Job, perm []int, warmUp, horizon des.Time) Summary {
+// release order (as the generator would), end-of-life events in the order
+// given by perm. Completed jobs report JobDone, discarded ones
+// JobDiscarded; jobs still pending at the horizon get no callback — the
+// three end states the schedulers produce. Returns the streaming summary.
+func replay(jobs []*rt.Job, perm []int, warmUp, horizon des.Time, sloMS float64) Summary {
 	c := NewCollector(warmUp, horizon)
+	c.SetSLO(sloMS)
 	for _, j := range jobs {
 		c.JobReleased(j, j.Release)
 	}
 	for _, i := range perm {
 		j := jobs[i]
-		if j.Done {
+		switch {
+		case j.Done:
 			c.JobDone(j, j.FinishedAt)
-		} else {
-			c.JobDiscarded(j, j.Deadline)
+		case j.Discarded:
+			c.JobDiscarded(j, j.DiscardedAt)
 		}
 	}
 	return c.Summary()
 }
 
 // TestCollectorMatchesEvaluate is the bit-identity test: over a mixed
-// workload (on-time, late, and never-finishing jobs from two interleaved
-// tasks), the streaming summary must equal the batch Evaluate byte for byte —
-// with completions delivered in release order AND in reverse/shuffled order,
-// since the device finishes jobs in neither order in general.
+// workload (on-time, late, discarded, and never-finishing jobs from two
+// interleaved tasks), the streaming summary must equal the batch Evaluate
+// byte for byte — with completions delivered in release order AND in
+// reverse/shuffled order, since the device finishes jobs in neither order
+// in general.
 func TestCollectorMatchesEvaluate(t *testing.T) {
 	pA := des.FromMillis(100)
 	pB := des.FromMillis(130)
@@ -66,7 +71,8 @@ func TestCollectorMatchesEvaluate(t *testing.T) {
 			j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(20)))
 		case 2: // late
 			j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(150)))
-		case 3: // never finishes
+		case 3: // dropped by the scheduler mid-flight
+			j.Discard(j.Release.Add(des.FromMillis(60)))
 		}
 		jobs = append(jobs, j)
 	}
@@ -74,6 +80,9 @@ func TestCollectorMatchesEvaluate(t *testing.T) {
 		j := taskB.NewJob(i, des.Time(int64(pB)*int64(i)))
 		if i%3 != 0 {
 			j.Stages[1].MarkFinished(j.Release.Add(des.FromMillis(float64(40 + 7*(i%11)))))
+		} else if i%6 == 0 {
+			// Discarded; the remaining third stays pending forever.
+			j.Discard(j.Release.Add(des.FromMillis(25)))
 		}
 		jobs = append(jobs, j)
 	}
@@ -86,7 +95,12 @@ func TestCollectorMatchesEvaluate(t *testing.T) {
 	}
 
 	warmUp, horizon := des.Second, des.FromSeconds(7)
-	want := Evaluate(byRelease, warmUp, horizon)
+	// SLO at 50 ms splits taskB's completions into hits and misses.
+	const sloMS = 50
+	want := EvaluateSLO(byRelease, warmUp, horizon, sloMS)
+	if want.Dropped == 0 || want.QueueDepthMax == 0 || want.SLOHitRate == 0 {
+		t.Fatalf("workload exercises no overload metrics: %+v", want)
+	}
 
 	inOrder := make([]int, len(byRelease))
 	reversed := make([]int, len(byRelease))
@@ -102,7 +116,7 @@ func TestCollectorMatchesEvaluate(t *testing.T) {
 	for name, perm := range map[string][]int{
 		"release-order": inOrder, "reverse-order": reversed, "shuffled": shuffled,
 	} {
-		got := replay(byRelease, perm, warmUp, horizon)
+		got := replay(byRelease, perm, warmUp, horizon, sloMS)
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("%s: streaming summary differs from Evaluate:\nwant %+v\ngot  %+v", name, want, got)
 		}
@@ -127,7 +141,7 @@ func TestCollectorWindowing(t *testing.T) {
 	for i := range perm {
 		perm[i] = i
 	}
-	got := replay(jobs, perm, warmUp, horizon)
+	got := replay(jobs, perm, warmUp, horizon, 0)
 	if !reflect.DeepEqual(want, got) {
 		t.Errorf("windowed summary differs:\nwant %+v\ngot  %+v", want, got)
 	}

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"slices"
 
 	"sgprs/internal/des"
 	"sgprs/internal/rt"
@@ -25,14 +26,38 @@ type Summary struct {
 	// Missed counts released jobs that finished after their deadline or
 	// did not finish at all.
 	Missed int
+	// Dropped counts released jobs the scheduler permanently abandoned
+	// (bounded-admission drops and frame replacements) — a subset of
+	// Missed, and the open-loop overload signal.
+	Dropped int
 
 	// TotalFPS is Completed per second of window.
 	TotalFPS float64
 	// DMR is Missed/Released in [0,1].
 	DMR float64
+	// DropRate is Dropped/Released in [0,1].
+	DropRate float64
 
 	// Response-time statistics over completed released jobs, milliseconds.
 	RespMeanMS, RespP50MS, RespP99MS, RespMaxMS float64
+	// RespP999MS extends the tail for open-loop studies, where the p99.9
+	// separates schedulers the p99 no longer does.
+	RespP999MS float64
+
+	// QueueDepthMax and QueueDepthMean describe the admission backlog —
+	// jobs released but not yet completed or discarded — as its maximum
+	// and time-weighted mean over the window. Under closed-loop periodic
+	// load the backlog is bounded by the in-flight frames; under open-loop
+	// overload it is the queue the bounded-admission scheduler is holding
+	// back.
+	QueueDepthMax  int
+	QueueDepthMean float64
+
+	// SLOMS echoes the configured response-time objective, milliseconds
+	// (0 = none); SLOHitRate is the fraction of released jobs that
+	// completed within it.
+	SLOMS      float64
+	SLOHitRate float64
 }
 
 // String renders a one-line summary.
@@ -44,14 +69,28 @@ func (s Summary) String() string {
 // Evaluate computes the run summary over [warmUp, horizon). Jobs released
 // during warm-up still count toward FPS if they complete inside the window
 // (the device was busy with them), but DMR is judged only on jobs whose
-// entire deadline window lies inside the measurement interval.
+// entire deadline window lies inside the measurement interval. No SLO is
+// configured; EvaluateSLO adds one.
 func Evaluate(jobs []*rt.Job, warmUp, horizon des.Time) Summary {
+	return EvaluateSLO(jobs, warmUp, horizon, 0)
+}
+
+// EvaluateSLO is Evaluate with a response-time service-level objective in
+// milliseconds (0 = none): Summary.SLOHitRate reports the fraction of
+// released jobs completing within it. This is the batch reference the
+// streaming Collector is pinned bit-identical to.
+func EvaluateSLO(jobs []*rt.Job, warmUp, horizon des.Time, sloMS float64) Summary {
 	if horizon <= warmUp {
 		panic(fmt.Sprintf("metrics: horizon %v not after warm-up %v", horizon, warmUp))
 	}
 	s := Summary{WarmUp: warmUp, Horizon: horizon}
 	var resp []float64
+	starts := make([]des.Time, 0, len(jobs))
+	ends := make([]des.Time, 0, len(jobs))
+	sloHits := 0
 	for _, j := range jobs {
+		starts = append(starts, j.Release)
+		ends = append(ends, jobEnd(j))
 		if j.Done && j.FinishedAt >= warmUp && j.FinishedAt < horizon {
 			s.Completed++
 		}
@@ -62,22 +101,137 @@ func Evaluate(jobs []*rt.Job, warmUp, horizon des.Time) Summary {
 		if j.Missed(horizon) {
 			s.Missed++
 		}
+		if j.Discarded {
+			s.Dropped++
+		}
 		if j.Done {
-			resp = append(resp, j.ResponseTime().Milliseconds())
+			r := j.ResponseTime().Milliseconds()
+			resp = append(resp, r)
+			if sloMS > 0 && r <= sloMS {
+				sloHits++
+			}
 		}
 	}
-	window := (horizon - warmUp).Seconds()
+	s.finish(resp, nil, starts, ends, sloMS, sloHits)
+	return s
+}
+
+// jobEnd reports the instant a job left the admission backlog: completion,
+// discard, or never (still pending — clipped to the horizon by the depth
+// profile). The streaming collector records exactly these instants from its
+// callbacks, which is what keeps the two depth profiles identical.
+func jobEnd(j *rt.Job) des.Time {
+	switch {
+	case j.Done:
+		return j.FinishedAt
+	case j.Discarded:
+		return j.DiscardedAt
+	default:
+		return des.Never
+	}
+}
+
+// finish folds the per-job accumulations into the summary's derived fields.
+// Both metric paths — EvaluateSLO over retained jobs and Collector.Summary
+// over streamed slots — call it with identically ordered inputs, so every
+// float operation happens in the same order and the results are
+// bit-identical (the house streaming-equivalence invariant).
+//
+// resp must be in release order; starts/ends are the backlog intervals of
+// all jobs (sorted in place — callers pass scratch). sortBuf, when
+// non-nil, is reused for the sorted response copy; the (possibly grown)
+// buffer is returned so streaming callers can keep it across runs.
+func (s *Summary) finish(resp, sortBuf []float64, starts, ends []des.Time, sloMS float64, sloHits int) []float64 {
+	window := (s.Horizon - s.WarmUp).Seconds()
 	s.TotalFPS = float64(s.Completed) / window
 	if s.Released > 0 {
 		s.DMR = float64(s.Missed) / float64(s.Released)
+		s.DropRate = float64(s.Dropped) / float64(s.Released)
 	}
 	if len(resp) > 0 {
 		s.RespMeanMS = stats.Mean(resp)
-		s.RespP50MS = stats.Quantile(resp, 0.50)
-		s.RespP99MS = stats.Quantile(resp, 0.99)
-		s.RespMaxMS = stats.Quantile(resp, 1.0)
+		sortBuf = append(sortBuf[:0], resp...)
+		slices.Sort(sortBuf)
+		s.RespP50MS = stats.QuantileSorted(sortBuf, 0.50)
+		s.RespP99MS = stats.QuantileSorted(sortBuf, 0.99)
+		s.RespP999MS = stats.QuantileSorted(sortBuf, 0.999)
+		s.RespMaxMS = stats.QuantileSorted(sortBuf, 1.0)
 	}
-	return s
+	integral, maxDepth := queueDepth(starts, ends, s.WarmUp, s.Horizon)
+	s.QueueDepthMax = maxDepth
+	s.QueueDepthMean = float64(integral) / float64(s.Horizon-s.WarmUp)
+	if sloMS > 0 {
+		s.SLOMS = sloMS
+		if s.Released > 0 {
+			s.SLOHitRate = float64(sloHits) / float64(s.Released)
+		}
+	}
+	return sortBuf
+}
+
+// queueDepth computes the admission-backlog profile over [warmUp, horizon):
+// the exact time-weighted integral (nanosecond·jobs, in int64) and the
+// maximum instantaneous depth. A job occupies the half-open interval
+// [start, end) — an end coinciding with another start never overlaps it —
+// and pending jobs (end == des.Never) clip to the horizon.
+//
+// Both results are pure functions of the interval multiset, independent of
+// the order events were observed in; that is what lets the streaming
+// collector match the batch path bit for bit even though completions arrive
+// out of release order. Sorts starts and ends in place.
+func queueDepth(starts, ends []des.Time, warmUp, horizon des.Time) (integral int64, maxDepth int) {
+	for i := range starts {
+		s, e := starts[i], ends[i]
+		if s < warmUp {
+			s = warmUp
+		}
+		if e > horizon {
+			e = horizon
+		}
+		if e > s {
+			integral += int64(e - s)
+		}
+	}
+	slices.Sort(starts)
+	slices.Sort(ends)
+	// Sweep the starts in time order, popping ends that precede them; the
+	// depth right after each start inside the window is a candidate
+	// maximum, as is the depth at warmUp itself (jobs can straddle it).
+	depth, j := 0, 0
+	warm := false
+	for i := 0; i < len(starts) && starts[i] < horizon; i++ {
+		s := starts[i]
+		if !warm && s >= warmUp {
+			for j < len(ends) && ends[j] <= warmUp {
+				depth--
+				j++
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			warm = true
+		}
+		for j < len(ends) && ends[j] <= s {
+			depth--
+			j++
+		}
+		depth++
+		if warm && depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if !warm {
+		// No start inside the window: the only candidate is the depth
+		// carried across warmUp by straddling jobs.
+		for j < len(ends) && ends[j] <= warmUp {
+			depth--
+			j++
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	return integral, maxDepth
 }
 
 // Point is one sweep sample: a task count and its run summary.

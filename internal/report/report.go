@@ -89,12 +89,35 @@ type Scenario struct {
 	Order      []string
 }
 
-// WriteText renders FPS and DMR tables plus pivot points.
+// metricTables lists the per-metric tables WriteText renders: the paper's
+// FPS and DMR always, the tail latency always (it is computed either way),
+// and the overload pair — drop rate, SLO hit rate — only when some point
+// recorded them, so closed-loop output keeps its classic shape.
+func (s *Scenario) metricTables() []string {
+	tables := []string{"total FPS", "DMR", "p99 ms"}
+	dropped, slo := false, false
+	for _, name := range s.Order {
+		for _, p := range s.Series[name] {
+			dropped = dropped || p.Summary.Dropped > 0
+			slo = slo || p.Summary.SLOMS > 0
+		}
+	}
+	if dropped {
+		tables = append(tables, "drop rate")
+	}
+	if slo {
+		tables = append(tables, "SLO hit rate")
+	}
+	return tables
+}
+
+// WriteText renders FPS, DMR, and tail-latency tables (plus drop-rate and
+// SLO tables for open-loop runs) and the pivot points.
 func (s *Scenario) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "== %s ==\n", s.Title); err != nil {
 		return err
 	}
-	for _, metric := range []string{"total FPS", "DMR"} {
+	for _, metric := range s.metricTables() {
 		fmt.Fprintf(w, "\n%s:\n", metric)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
 		// Every cell is tab-terminated (including the last): a cell
@@ -121,6 +144,12 @@ func (s *Scenario) WriteText(w io.Writer) error {
 					fmt.Fprint(tw, "\t-")
 				case metric == "total FPS":
 					fmt.Fprintf(tw, "\t%.0f", p.Summary.TotalFPS)
+				case metric == "p99 ms":
+					fmt.Fprintf(tw, "\t%.1f", p.Summary.RespP99MS)
+				case metric == "drop rate":
+					fmt.Fprintf(tw, "\t%.3f", p.Summary.DropRate)
+				case metric == "SLO hit rate":
+					fmt.Fprintf(tw, "\t%.3f", p.Summary.SLOHitRate)
 				default:
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.DMR)
 				}
@@ -148,11 +177,16 @@ func (s *Scenario) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV renders the dataset as long-form CSV:
-// variant,tasks,fps,dmr,released,completed,missed.
+// WriteCSV renders the dataset as long-form CSV: variant,tasks,fps,dmr,
+// released,completed,missed plus the open-loop columns (dropped,drop_rate,
+// p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate — zero for closed-loop
+// runs, so the schema is stable across traffic models).
 func (s *Scenario) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"variant", "tasks", "fps", "dmr", "released", "completed", "missed"}); err != nil {
+	if err := cw.Write([]string{
+		"variant", "tasks", "fps", "dmr", "released", "completed", "missed",
+		"dropped", "drop_rate", "p99_ms", "p999_ms", "queue_max", "queue_mean", "slo_hit_rate",
+	}); err != nil {
 		return err
 	}
 	for _, name := range s.Order {
@@ -165,6 +199,13 @@ func (s *Scenario) WriteCSV(w io.Writer) error {
 				strconv.Itoa(p.Summary.Released),
 				strconv.Itoa(p.Summary.Completed),
 				strconv.Itoa(p.Summary.Missed),
+				strconv.Itoa(p.Summary.Dropped),
+				strconv.FormatFloat(p.Summary.DropRate, 'f', 4, 64),
+				strconv.FormatFloat(p.Summary.RespP99MS, 'f', 2, 64),
+				strconv.FormatFloat(p.Summary.RespP999MS, 'f', 2, 64),
+				strconv.Itoa(p.Summary.QueueDepthMax),
+				strconv.FormatFloat(p.Summary.QueueDepthMean, 'f', 3, 64),
+				strconv.FormatFloat(p.Summary.SLOHitRate, 'f', 4, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -163,7 +163,8 @@ func TestScenarioCSV(t *testing.T) {
 	if len(lines) != 7 { // header + 2 variants x 3 points
 		t.Fatalf("lines = %d", len(lines))
 	}
-	if lines[0] != "variant,tasks,fps,dmr,released,completed,missed" {
+	if lines[0] != "variant,tasks,fps,dmr,released,completed,missed,"+
+		"dropped,drop_rate,p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "naive,10,300.0,") {

@@ -26,6 +26,13 @@ type Job struct {
 	FinishedAt des.Time
 	Done       bool
 
+	// Discarded marks a job the scheduler permanently abandoned (a
+	// dropped or replaced frame), with the instant Discard recorded.
+	// The batch metrics path reads these fields off retained jobs where
+	// the streaming collector observes the JobDiscarded callback.
+	Discarded   bool
+	DiscardedAt des.Time
+
 	// Watcher, when non-nil, observes the job's end of life: completion
 	// (fired by MarkFinished of the last stage) and abandonment (fired by
 	// Discard). The workload generator installs itself here to stream
@@ -37,6 +44,12 @@ type Job struct {
 	// window. Owned by metrics.Collector; everything else treats it as
 	// opaque.
 	MetricsSlot int
+
+	// BacklogSlot is the collector's admission-backlog interval index,
+	// assigned to every released job (unlike MetricsSlot, which covers
+	// only in-window ones). Owned by metrics.Collector; -1 until the
+	// release is recorded.
+	BacklogSlot int
 
 	// pooled marks a job that currently sits in a JobPool free list; a
 	// second Put before the next Get is a use-after-recycle bug.
@@ -101,6 +114,7 @@ func (t *Task) initJob(j *Job, index int, release des.Time) {
 		Deadline:    release.Add(t.Deadline),
 		WorkScale:   1,
 		MetricsSlot: -1,
+		BacklogSlot: -1,
 		Stages:      old[:0],
 	}
 	var cum des.Time
@@ -157,6 +171,8 @@ func (j *Job) Discard(now des.Time) {
 	if j.Done {
 		panic(fmt.Sprintf("rt: discard of completed job %s", j))
 	}
+	j.Discarded = true
+	j.DiscardedAt = now
 	if j.Watcher != nil {
 		j.Watcher.JobDiscarded(j, now)
 	}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sgprs/internal/memo"
+	"sgprs/internal/speedup"
+	"sgprs/internal/workload"
+)
+
+// TestNilArrivalBitIdenticalScenarios is the arrival-layer acceptance test:
+// an explicit Periodic{} arrival process must reproduce the legacy nil-
+// arrival release path byte for byte across both paper scenario grids —
+// every variant, every task count, every float bit. The process draws from
+// the same forked RNG stream the legacy path used, so any divergence in
+// draw order or instant arithmetic shows up here.
+func TestNilArrivalBitIdenticalScenarios(t *testing.T) {
+	counts := []int{4, 12, 24}
+	const horizon = 2
+	cache := memo.New()
+	for _, scenario := range []int{1, 2} {
+		np, err := ScenarioContexts(scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range ScenarioVariants() {
+			for _, n := range counts {
+				cfg := RunConfig{
+					Kind:       v.Kind,
+					Name:       v.Name,
+					ContextSMs: ContextPool(np, v.OS, speedup.DeviceSMs),
+					HorizonSec: horizon,
+					Seed:       1,
+					NumTasks:   n,
+				}
+				want, err := RunWith(cfg, cache)
+				if err != nil {
+					t.Fatalf("scenario %d %s n=%d nil arrival: %v", scenario, v.Name, n, err)
+				}
+				cfg.Arrival = workload.Periodic{}
+				got, err := RunWith(cfg, cache)
+				if err != nil {
+					t.Fatalf("scenario %d %s n=%d periodic arrival: %v", scenario, v.Name, n, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("scenario %d %s n=%d: Periodic{} differs from nil arrival\nwant %+v\ngot  %+v",
+						scenario, v.Name, n, want.Summary, got.Summary)
+				}
+			}
+		}
+	}
+}
+
+// TestNilArrivalBitIdenticalJittered covers the stochastic corners: release
+// jitter and work variation interleave draws on the same per-task RNG
+// stream, so the Periodic process must draw jitter at exactly the legacy
+// point in the stream — including the final beyond-horizon attempt.
+func TestNilArrivalBitIdenticalJittered(t *testing.T) {
+	cfgs := []RunConfig{
+		{Kind: KindSGPRS, Name: "jittered", ContextSMs: []int{34, 34}, NumTasks: 12,
+			ReleaseJitterMS: 3, WorkVariation: 0.2, HorizonSec: 2, Seed: 7},
+		{Kind: KindSGPRS, Name: "staggered", ContextSMs: []int{23, 23, 23}, NumTasks: 26,
+			Stagger: true, HorizonSec: 2, Seed: 3},
+		{Kind: KindNaive, Name: "naive-jit", ContextSMs: []int{34, 34}, NumTasks: 20,
+			ReleaseJitterMS: 2, HorizonSec: 2, Seed: 5},
+	}
+	for _, cfg := range cfgs {
+		want, err := RunWith(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s nil arrival: %v", cfg.Name, err)
+		}
+		cfg.Arrival = workload.Periodic{}
+		got, err := RunWith(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s periodic arrival: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: Periodic{} differs from nil arrival\nwant %+v\ngot  %+v",
+				cfg.Name, want.Summary, got.Summary)
+		}
+	}
+}
+
+// TestOpenLoopStreamingMatchesBatch extends the streaming-vs-batch identity
+// to open-loop traffic: under Poisson overload with drops, an SLO, and
+// backlog buildup, the Session path (streaming Collector, recycled jobs)
+// must reproduce the batch path (retain all jobs, EvaluateSLO) byte for
+// byte — the same invariant the closed-loop streaming tests pin.
+func TestOpenLoopStreamingMatchesBatch(t *testing.T) {
+	trace := workload.SyntheticTrace("equiv", 5, 90, 2, 6)
+	cfgs := []RunConfig{
+		{Kind: KindSGPRS, Name: "poisson-overload", ContextSMs: []int{23, 23, 23}, NumTasks: 12,
+			Arrival: workload.Poisson{Rate: 50}, SLOMS: 40, HorizonSec: 2, Seed: 7},
+		{Kind: KindNaive, Name: "naive-poisson", ContextSMs: []int{34, 34}, NumTasks: 8,
+			Arrival: workload.Poisson{}, SLOMS: 33.4, HorizonSec: 2, Seed: 2},
+		{Kind: KindSGPRS, Name: "bursty", ContextSMs: []int{34, 34}, NumTasks: 10,
+			Arrival: workload.Bursty{OnSec: 0.3, OffSec: 0.3}, WorkVariation: 0.15, HorizonSec: 2, Seed: 4},
+		{Kind: KindSGPRS, Name: "trace", ContextSMs: []int{34, 34}, NumTasks: 6,
+			Arrival: workload.Trace{Data: trace}, SLOMS: 50, HorizonSec: 2, Seed: 9},
+	}
+	sess := NewSession(memo.New())
+	for _, cfg := range cfgs {
+		want, err := runBatch(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s batch: %v", cfg.Name, err)
+		}
+		got, err := RunWith(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s streaming: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: streaming result differs from batch reference\nwant %+v\ngot  %+v",
+				cfg.Name, want.Summary, got.Summary)
+		}
+		sessGot, err := sess.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s session: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(want, sessGot) {
+			t.Errorf("%s: session result differs from batch reference\nwant %+v\ngot  %+v",
+				cfg.Name, want.Summary, sessGot.Summary)
+		}
+	}
+}
+
+// TestOpenLoopExercisesOverloadMetrics guards the test above against
+// vacuity: at least one configuration must actually drop jobs, build a
+// backlog, and split completions across the SLO.
+func TestOpenLoopExercisesOverloadMetrics(t *testing.T) {
+	cfg := RunConfig{
+		Kind: KindSGPRS, Name: "hot", ContextSMs: []int{23, 23, 23}, NumTasks: 16,
+		Arrival: workload.Poisson{Rate: 60}, SLOMS: 33.4, HorizonSec: 2, Seed: 1,
+	}
+	res, err := RunWith(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.Dropped == 0 || s.DropRate == 0 {
+		t.Errorf("overload run dropped nothing: %+v", s)
+	}
+	if s.QueueDepthMax == 0 || s.QueueDepthMean == 0 {
+		t.Errorf("overload run shows no backlog: %+v", s)
+	}
+	if s.SLOHitRate <= 0 || s.SLOHitRate >= 1 {
+		t.Errorf("SLO hit rate %v does not split completions", s.SLOHitRate)
+	}
+	if s.RespP999MS < s.RespP99MS || s.RespP99MS < s.RespP50MS {
+		t.Errorf("quantiles out of order: p50=%v p99=%v p999=%v", s.RespP50MS, s.RespP99MS, s.RespP999MS)
+	}
+}

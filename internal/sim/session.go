@@ -148,10 +148,12 @@ func (s *Session) Run(cfg RunConfig) (Result, error) {
 	} else {
 		s.collector.Reset(warmUp, horizon)
 	}
+	s.collector.SetSLO(cfg.SLOMS)
 
 	gen := workload.NewGeneratorSeeded(s.eng, scheduler, cfg.Seed+2)
 	gen.SetSink(s.collector)
 	gen.UsePool(&s.pool)
+	gen.SetArrival(cfg.Arrival)
 	gen.Start(tasks, horizon)
 	s.eng.RunUntil(horizon)
 
@@ -193,14 +195,18 @@ func (s *Session) taskSet(graph *dnn.Graph, cfg RunConfig) ([]*rt.Task, error) {
 	if tasks, ok := s.tasks[key]; ok {
 		return tasks, nil
 	}
-	specs := workload.Identical(cfg.NumTasks, workload.TaskSpec{
-		Name:          "resnet18",
-		Graph:         graph,
-		Stages:        cfg.Stages,
-		FPS:           cfg.FPS,
-		ReleaseJitter: des.FromMillis(cfg.ReleaseJitterMS),
-		WorkVariation: cfg.WorkVariation,
-	}, cfg.Stagger)
+	specs := workload.Replicate(workload.Options{
+		Count: cfg.NumTasks,
+		Spec: workload.TaskSpec{
+			Name:          "resnet18",
+			Graph:         graph,
+			Stages:        cfg.Stages,
+			FPS:           cfg.FPS,
+			ReleaseJitter: des.FromMillis(cfg.ReleaseJitterMS),
+			WorkVariation: cfg.WorkVariation,
+		},
+		Stagger: cfg.Stagger,
+	})
 	tasks, err := workload.Build(specs)
 	if err != nil {
 		return nil, err

@@ -65,6 +65,16 @@ type RunConfig struct {
 	// WorkVariation is the relative per-job execution-demand spread
 	// (WCET-overrun injection); see workload.TaskSpec.
 	WorkVariation float64
+	// Arrival selects the release process driving every task (open-loop
+	// traffic and trace replay; see workload.Arrival). Nil keeps the
+	// closed-loop periodic releases of the paper, plus ReleaseJitterMS —
+	// pinned bit-identical to the pre-arrival code path by the sim
+	// arrival-equivalence tests.
+	Arrival workload.Arrival
+	// SLOMS is a response-time service-level objective, milliseconds;
+	// when positive, Summary.SLOHitRate reports the fraction of released
+	// jobs completing within it.
+	SLOMS float64
 
 	// Horizon and warm-up, simulated seconds.
 	HorizonSec, WarmUpSec float64
@@ -104,6 +114,24 @@ func (c *RunConfig) Normalize() error {
 	if c.NumTasks <= 0 {
 		return fmt.Errorf("sim: run %q needs at least one task", c.Name)
 	}
+	// NaN compares false against every bound, so the sign checks below
+	// would wave NaN through; reject non-finite values first, with the
+	// field named like every other rejection.
+	for _, f := range []struct {
+		field string
+		v     float64
+	}{
+		{"FPS", c.FPS},
+		{"release jitter", c.ReleaseJitterMS},
+		{"work variation", c.WorkVariation},
+		{"horizon", c.HorizonSec},
+		{"warm-up", c.WarmUpSec},
+		{"SLO", c.SLOMS},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: run %q %s %v must be finite", c.Name, f.field, f.v)
+		}
+	}
 	if c.FPS < 0 {
 		return fmt.Errorf("sim: run %q FPS %v must be non-negative", c.Name, c.FPS)
 	}
@@ -115,6 +143,17 @@ func (c *RunConfig) Normalize() error {
 	}
 	if c.ReleaseJitterMS < 0 {
 		return fmt.Errorf("sim: run %q release jitter %vms must be non-negative", c.Name, c.ReleaseJitterMS)
+	}
+	if c.WorkVariation < 0 {
+		return fmt.Errorf("sim: run %q work variation %v must be non-negative", c.Name, c.WorkVariation)
+	}
+	if c.SLOMS < 0 {
+		return fmt.Errorf("sim: run %q SLO %vms must be non-negative", c.Name, c.SLOMS)
+	}
+	if c.Arrival != nil {
+		if err := c.Arrival.Validate(); err != nil {
+			return fmt.Errorf("sim: run %q arrival %s: %w", c.Name, c.Arrival.Name(), err)
+		}
 	}
 	if c.FPS == 0 {
 		c.FPS = 30
@@ -222,14 +261,18 @@ func runBatch(cfg RunConfig, cache *memo.Cache) (Result, error) {
 	} else {
 		graph = ReferenceGraph(model)
 	}
-	specs := workload.Identical(cfg.NumTasks, workload.TaskSpec{
-		Name:          "resnet18",
-		Graph:         graph,
-		Stages:        cfg.Stages,
-		FPS:           cfg.FPS,
-		ReleaseJitter: des.FromMillis(cfg.ReleaseJitterMS),
-		WorkVariation: cfg.WorkVariation,
-	}, cfg.Stagger)
+	specs := workload.Replicate(workload.Options{
+		Count: cfg.NumTasks,
+		Spec: workload.TaskSpec{
+			Name:          "resnet18",
+			Graph:         graph,
+			Stages:        cfg.Stages,
+			FPS:           cfg.FPS,
+			ReleaseJitter: des.FromMillis(cfg.ReleaseJitterMS),
+			WorkVariation: cfg.WorkVariation,
+		},
+		Stagger: cfg.Stagger,
+	})
 	tasks, err := workload.Build(specs)
 	if err != nil {
 		return Result{}, err
@@ -268,10 +311,11 @@ func runBatch(cfg RunConfig, cache *memo.Cache) (Result, error) {
 
 	horizon := des.FromSeconds(cfg.HorizonSec)
 	gen := workload.NewGeneratorSeeded(eng, s, cfg.Seed+2)
+	gen.SetArrival(cfg.Arrival)
 	gen.Start(tasks, horizon)
 	eng.RunUntil(horizon)
 
-	sum := metrics.Evaluate(gen.Jobs(), des.FromSeconds(cfg.WarmUpSec), horizon)
+	sum := metrics.EvaluateSLO(gen.Jobs(), des.FromSeconds(cfg.WarmUpSec), horizon, cfg.SLOMS)
 	pm := gpu.DefaultPowerModel()
 	res := Result{
 		Name:              cfg.Name,

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sgprs/internal/des"
+)
+
+// TraceData is a parsed release trace: one row per recorded arrival, in
+// non-decreasing time order. Tasks, when present, carries the recorded
+// per-row task id (demultiplexed onto the simulated task set modulo its
+// size); without it, rows are dealt round-robin. TraceData is immutable
+// after parsing and safe to share across concurrent runs.
+type TraceData struct {
+	// Name labels the trace in experiment labels ("trace:azure-1h").
+	Name string
+	// Times are the recorded release instants, sorted non-decreasing.
+	Times []des.Time
+	// Tasks are the recorded task ids, parallel to Times; empty means
+	// round-robin assignment.
+	Tasks []int
+}
+
+// validate checks the invariants the parsers establish — callers that
+// build TraceData by hand get the same errors through Trace.Validate.
+func (d *TraceData) validate() error {
+	if len(d.Times) == 0 {
+		return fmt.Errorf("workload: trace %q has no arrivals", d.Name)
+	}
+	if len(d.Tasks) > 0 && len(d.Tasks) != len(d.Times) {
+		return fmt.Errorf("workload: trace %q has %d task ids for %d arrivals", d.Name, len(d.Tasks), len(d.Times))
+	}
+	for i, t := range d.Times {
+		if t < 0 {
+			return fmt.Errorf("workload: trace %q row %d: negative time %v", d.Name, i, t)
+		}
+		if i > 0 && t < d.Times[i-1] {
+			return fmt.Errorf("workload: trace %q row %d: time %v before predecessor %v", d.Name, i, t, d.Times[i-1])
+		}
+	}
+	for i, id := range d.Tasks {
+		if id < 0 {
+			return fmt.Errorf("workload: trace %q row %d: negative task id %d", d.Name, i, id)
+		}
+	}
+	return nil
+}
+
+// LoadTrace reads a trace file, dispatching on extension: ".csv" to
+// ParseTraceCSV, ".json" to ParseTraceJSON. The trace name is the file's
+// base name without extension.
+func LoadTrace(path string) (*TraceData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ParseTraceCSV(name, f)
+	case ".json":
+		return ParseTraceJSON(name, f)
+	default:
+		return nil, fmt.Errorf("workload: trace %q: unsupported extension %q (want .csv or .json)", path, ext)
+	}
+}
+
+// ParseTraceCSV parses the CSV trace format: a header line naming the
+// columns ("time_s" required, "task" optional), then one row per arrival
+// with the release instant in seconds. Rows must be sorted by time.
+//
+//	time_s,task
+//	0.000,0
+//	0.013,1
+func ParseTraceCSV(name string, r io.Reader) (*TraceData, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace %q: reading header: %w", name, err)
+	}
+	timeCol, taskCol := -1, -1
+	for i, h := range header {
+		switch strings.TrimSpace(strings.ToLower(h)) {
+		case "time_s", "time":
+			timeCol = i
+		case "task", "task_id":
+			taskCol = i
+		}
+	}
+	if timeCol < 0 {
+		return nil, fmt.Errorf("workload: trace %q: header %v has no time_s column", name, header)
+	}
+	d := &TraceData{Name: name}
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace %q row %d: %w", name, row, err)
+		}
+		sec, err := strconv.ParseFloat(strings.TrimSpace(rec[timeCol]), 64)
+		if err != nil || !finite(sec) || sec < 0 {
+			return nil, fmt.Errorf("workload: trace %q row %d: bad time %q", name, row, rec[timeCol])
+		}
+		d.Times = append(d.Times, des.FromSeconds(sec))
+		if taskCol >= 0 {
+			id, err := strconv.Atoi(strings.TrimSpace(rec[taskCol]))
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace %q row %d: bad task id %q", name, row, rec[taskCol])
+			}
+			d.Tasks = append(d.Tasks, id)
+		}
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// traceJSON is the JSON trace schema: release instants in seconds plus an
+// optional parallel task-id list.
+type traceJSON struct {
+	Name   string    `json:"name"`
+	TimesS []float64 `json:"times_s"`
+	Tasks  []int     `json:"tasks"`
+}
+
+// ParseTraceJSON parses the JSON trace format:
+//
+//	{"name": "azure-1h", "times_s": [0.0, 0.013, ...], "tasks": [0, 1, ...]}
+//
+// "tasks" may be omitted for round-robin assignment; a "name" in the file
+// overrides the caller's.
+func ParseTraceJSON(name string, r io.Reader) (*TraceData, error) {
+	var tj traceJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("workload: trace %q: %w", name, err)
+	}
+	if tj.Name != "" {
+		name = tj.Name
+	}
+	d := &TraceData{Name: name, Tasks: tj.Tasks}
+	for i, sec := range tj.TimesS {
+		if !finite(sec) || sec < 0 {
+			return nil, fmt.Errorf("workload: trace %q row %d: bad time %v", name, i, sec)
+		}
+		d.Times = append(d.Times, des.FromSeconds(sec))
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SyntheticTrace generates a deterministic Poisson trace — ratePerSec
+// arrivals per second per task over durationSec seconds across the given
+// task count — using the house RNG fork pattern (one stream per task, so
+// the trace is a pure function of the arguments). The trace-replay builtin
+// and the determinism tests use it in place of a checked-in recording.
+func SyntheticTrace(name string, seed uint64, ratePerSec, durationSec float64, tasks int) *TraceData {
+	if !(ratePerSec > 0) || !(durationSec > 0) || tasks <= 0 {
+		panic(fmt.Sprintf("workload: invalid synthetic trace rate=%v duration=%v tasks=%d",
+			ratePerSec, durationSec, tasks))
+	}
+	type row struct {
+		at   des.Time
+		task int
+	}
+	var rows []row
+	root := des.NewRNG(seed)
+	horizon := des.FromSeconds(durationSec)
+	meanNS := float64(des.Second) / ratePerSec
+	for task := 0; task < tasks; task++ {
+		rng := root.Fork(uint64(task) + 1)
+		at := des.Time(0)
+		for {
+			at = at.Add(des.Time(rng.Exp(meanNS) + 0.5))
+			if at >= horizon {
+				break
+			}
+			rows = append(rows, row{at: at, task: task})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].at != rows[j].at {
+			return rows[i].at < rows[j].at
+		}
+		return rows[i].task < rows[j].task
+	})
+	d := &TraceData{Name: name}
+	for _, r := range rows {
+		d.Times = append(d.Times, r.at)
+		d.Tasks = append(d.Tasks, r.task)
+	}
+	return d
+}

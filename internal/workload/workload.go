@@ -45,15 +45,34 @@ type TaskSpec struct {
 // unchanged for Build to reject with a proper error (rather than an Inf/NaN
 // period corrupting the offsets here, before validation ever runs).
 func Identical(n int, spec TaskSpec, stagger bool) []TaskSpec {
-	out := make([]TaskSpec, n)
+	return Replicate(Options{Count: n, Spec: spec, Stagger: stagger})
+}
+
+// Options names the parameters of Replicate — the struct-constructor form
+// of Identical, for call sites where positional (n, spec, stagger) reads
+// poorly or will grow more knobs.
+type Options struct {
+	// Count is the number of task copies.
+	Count int
+	// Spec is the task template each copy starts from.
+	Spec TaskSpec
+	// Stagger spreads release offsets evenly across the period;
+	// false reproduces the paper's synchronous releases.
+	Stagger bool
+}
+
+// Replicate expands the options into Count task specs; Identical is a thin
+// positional wrapper over it, and both produce identical output.
+func Replicate(o Options) []TaskSpec {
+	out := make([]TaskSpec, o.Count)
 	for i := range out {
-		out[i] = spec
-		out[i].Name = fmt.Sprintf("%s-%d", spec.Name, i)
+		out[i] = o.Spec
+		out[i].Name = fmt.Sprintf("%s-%d", o.Spec.Name, i)
 	}
-	if stagger && spec.FPS > 0 {
-		period := des.FromSeconds(1 / spec.FPS)
+	if o.Stagger && o.Spec.FPS > 0 {
+		period := des.FromSeconds(1 / o.Spec.FPS)
 		for i := range out {
-			out[i].Offset = des.Time(int64(period) * int64(i) / int64(n))
+			out[i].Offset = des.Time(int64(period) * int64(i) / int64(o.Count))
 		}
 	}
 	return out
@@ -76,8 +95,11 @@ func Build(specs []TaskSpec) ([]*rt.Task, error) {
 	partitions := map[partKey][]*dnn.Stage{}
 	tasks := make([]*rt.Task, 0, len(specs))
 	for i, sp := range specs {
-		if sp.FPS <= 0 {
-			return nil, fmt.Errorf("workload: task %q fps %v must be positive", sp.Name, sp.FPS)
+		// NaN compares false against everything, so "fps <= 0" alone
+		// would wave NaN through into a NaN period; test positivity in
+		// the form that fails for NaN and reject Inf alongside it.
+		if !(sp.FPS > 0) || math.IsInf(sp.FPS, 0) {
+			return nil, fmt.Errorf("workload: task %q fps %v must be positive and finite", sp.Name, sp.FPS)
 		}
 		if sp.Graph == nil {
 			return nil, fmt.Errorf("workload: task %q has no graph", sp.Name)
@@ -97,7 +119,7 @@ func Build(specs []TaskSpec) ([]*rt.Task, error) {
 		if df == 0 {
 			df = 1
 		}
-		if df < 0 || df > 1 {
+		if !(df > 0 && df <= 1) {
 			return nil, fmt.Errorf("workload: task %q deadline factor %v must be in (0,1]", sp.Name, df)
 		}
 		deadline := des.Time(float64(period) * df)
@@ -105,8 +127,8 @@ func Build(specs []TaskSpec) ([]*rt.Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: %w", err)
 		}
-		if sp.ReleaseJitter < 0 || sp.WorkVariation < 0 {
-			return nil, fmt.Errorf("workload: task %q jitter/variation must be non-negative", sp.Name)
+		if sp.ReleaseJitter < 0 || !(sp.WorkVariation >= 0) || math.IsInf(sp.WorkVariation, 0) {
+			return nil, fmt.Errorf("workload: task %q jitter/variation must be non-negative and finite", sp.Name)
 		}
 		if sp.ReleaseJitter >= period {
 			return nil, fmt.Errorf("workload: task %q release jitter %v must stay below the period %v", sp.Name, sp.ReleaseJitter, period)
@@ -136,12 +158,13 @@ type JobSink interface {
 // recycles each job the moment its lifecycle ends; in either mode nothing
 // is retained and live memory stays O(in-flight jobs).
 type Generator struct {
-	eng   *des.Engine
-	sched sched.Scheduler
-	rng   *des.RNG
-	jobs  []*rt.Job
-	sink  JobSink
-	pool  *rt.JobPool
+	eng     *des.Engine
+	sched   sched.Scheduler
+	rng     *des.RNG
+	jobs    []*rt.Job
+	sink    JobSink
+	pool    *rt.JobPool
+	arrival Arrival
 }
 
 // NewGenerator wires a generator to the engine and scheduler. The seed feeds
@@ -164,6 +187,13 @@ func (g *Generator) SetSink(s JobSink) { g.sink = s }
 // discarded (and stops retaining jobs, like SetSink). Must be called before
 // Start.
 func (g *Generator) UsePool(p *rt.JobPool) { g.pool = p }
+
+// SetArrival replaces the default periodic release model with an arrival
+// process (nil restores the default). Each task gets its own process,
+// started with the task's RNG stream — the same stream work variation
+// draws from, which is what lets Periodic{} reproduce the default path
+// bit for bit. Must be called before Start.
+func (g *Generator) SetArrival(a Arrival) { g.arrival = a }
 
 // Jobs lists every job released so far, in release order, as a fresh slice
 // the caller may keep or mutate. It is empty when a sink or pool is
@@ -200,9 +230,12 @@ func (g *Generator) JobDiscarded(j *rt.Job, now des.Time) {
 
 // Start schedules all releases of the task set up to the horizon. Releases
 // exactly at the horizon are excluded (their deadline would extend past the
-// measured window). Tasks with ReleaseJitter release sporadically (a uniform
-// delay in [0, jitter) on top of the periodic instant); tasks with
-// WorkVariation stamp each job with a truncated-normal work scale.
+// measured window). With no arrival process attached, tasks release
+// periodically: tasks with ReleaseJitter release sporadically (a uniform
+// delay in [0, jitter) on top of the periodic instant). With SetArrival,
+// each task's process emits the release instants instead. Either way,
+// tasks with WorkVariation stamp each job with a truncated-normal work
+// scale.
 func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
 	for _, t := range tasks {
 		t := t
@@ -214,11 +247,38 @@ func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
 		// the events themselves are detached and recycle through the
 		// engine's pool.
 		idx := 0
+		var proc ArrivalProcess
+		if g.arrival != nil {
+			proc = g.arrival.Start(ArrivalTask{
+				Index:  t.ID,
+				Count:  len(tasks),
+				Period: t.Period,
+				Offset: t.Offset,
+				Jitter: t.ReleaseJitter,
+			}, rng)
+		}
+		last := des.Time(0)
 		var fire func(now des.Time)
 		scheduleNext := func() {
-			at := t.Offset.Add(des.Time(int64(t.Period) * int64(idx)))
-			if t.ReleaseJitter > 0 {
-				at = at.Add(des.Time(rng.Float64() * float64(t.ReleaseJitter)))
+			var at des.Time
+			if proc != nil {
+				next, ok := proc.Next()
+				if !ok {
+					return
+				}
+				// Processes promise non-decreasing instants; clamp
+				// instead of letting a marginally early emission (a
+				// rounding artifact) trip the engine's no-past-events
+				// panic.
+				if next < last {
+					next = last
+				}
+				at, last = next, next
+			} else {
+				at = t.Offset.Add(des.Time(int64(t.Period) * int64(idx)))
+				if t.ReleaseJitter > 0 {
+					at = at.Add(des.Time(rng.Float64() * float64(t.ReleaseJitter)))
+				}
 			}
 			if at >= horizon {
 				return

@@ -53,12 +53,14 @@ package sgprs
 
 import (
 	"context"
+	"io"
 
 	"sgprs/internal/exp"
 	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
+	"sgprs/internal/workload"
 )
 
 // RunConfig describes one simulation run. See sim.RunConfig for field
@@ -192,7 +194,13 @@ const (
 	AxisJitter  = exp.AxisJitterMS
 	AxisWorkVar = exp.AxisWorkVar
 	AxisHorizon = exp.AxisHorizonSec
+	AxisRate    = exp.AxisRate
+	AxisArrival = exp.AxisArrival
 )
+
+// AxisKinds returns every axis kind in declaration order; each stringifies
+// to the name validation errors use ("task-count", "arrival-rate", ...).
+func AxisKinds() []AxisKind { return exp.Kinds() }
 
 // ExperimentResults is an executed experiment: per-job outcomes in
 // submission order plus the folding metadata (expanded variant labels,
@@ -220,6 +228,72 @@ func FPSAxis(rates ...float64) ExperimentAxis      { return exp.FPS(rates...) }
 func JitterAxis(ms ...float64) ExperimentAxis      { return exp.JitterMS(ms...) }
 func WorkVarAxis(fracs ...float64) ExperimentAxis  { return exp.WorkVar(fracs...) }
 func HorizonAxis(secs ...float64) ExperimentAxis   { return exp.HorizonSec(secs...) }
+func RateAxis(factors ...float64) ExperimentAxis   { return exp.Rate(factors...) }
+func ArrivalAxis(procs ...Arrival) ExperimentAxis  { return exp.Arrivals(procs...) }
+
+// Arrival is a pluggable release-time model: set RunConfig.Arrival to drive
+// a run open-loop (nil keeps the classic closed-loop periodic releases,
+// bit-identical to earlier versions), or sweep processes with ArrivalAxis
+// and intensities with RateAxis. See internal/workload for the contract.
+type Arrival = workload.Arrival
+
+// TraceData is a parsed arrival trace: sorted release timestamps plus an
+// optional per-row task assignment, replayed by TraceArrival.
+type TraceData = workload.TraceData
+
+// PeriodicArrival releases jobs every task period divided by rate (0 and 1
+// both mean the task's own period, matching Arrival == nil bit for bit);
+// deadlines stay derived from the period, so rate > 1 is open-loop overload.
+func PeriodicArrival(rate float64) Arrival { return workload.Periodic{Rate: rate} }
+
+// PoissonArrival is a memoryless open-loop stream at ratePerSec arrivals per
+// second per task (0 = each task's natural closed-loop rate).
+func PoissonArrival(ratePerSec float64) Arrival { return workload.Poisson{Rate: ratePerSec} }
+
+// BurstyArrival alternates Poisson ON windows (ratePerSec, 0 = natural rate)
+// with silent OFF windows — synchronized burst load.
+func BurstyArrival(onSec, offSec, ratePerSec float64) Arrival {
+	return workload.Bursty{OnSec: onSec, OffSec: offSec, Rate: ratePerSec}
+}
+
+// MMPPArrival is a Markov-modulated Poisson process cycling through states
+// with the given per-state rates and mean exponential sojourns.
+func MMPPArrival(ratesPerSec, meanSojournSec []float64) Arrival {
+	return workload.MMPP{RatesPerSec: ratesPerSec, MeanSojournSec: meanSojournSec}
+}
+
+// DiurnalArrival follows a sinusoidal rate curve between minRate and maxRate
+// (0 = twice the natural rate) with one cycle per periodSec.
+func DiurnalArrival(periodSec, minRate, maxRate float64) Arrival {
+	return workload.Diurnal{PeriodSec: periodSec, MinRate: minRate, MaxRate: maxRate}
+}
+
+// TraceArrival replays a recorded trace at the given speed (0 or 1 = as
+// recorded; >1 compresses time).
+func TraceArrival(data *TraceData, speed float64) Arrival {
+	return workload.Trace{Data: data, Speed: speed}
+}
+
+// LoadTrace parses an arrival trace file — CSV (time_s[,task] columns) or
+// JSON ({"times_s": [...], "tasks": [...]}) by extension. See README for the
+// formats.
+func LoadTrace(path string) (*TraceData, error) { return workload.LoadTrace(path) }
+
+// ParseTraceCSV and ParseTraceJSON parse trace bytes from a reader, for
+// traces that do not live in files.
+func ParseTraceCSV(name string, r io.Reader) (*TraceData, error) {
+	return workload.ParseTraceCSV(name, r)
+}
+func ParseTraceJSON(name string, r io.Reader) (*TraceData, error) {
+	return workload.ParseTraceJSON(name, r)
+}
+
+// SyntheticTrace generates a reproducible Poisson trace (ratePerSec rows per
+// second over durationSec, demultiplexed round-robin onto tasks) — handy for
+// trace-replay tests and demos without shipping recorded data.
+func SyntheticTrace(name string, seed uint64, ratePerSec, durationSec float64, tasks int) *TraceData {
+	return workload.SyntheticTrace(name, seed, ratePerSec, durationSec, tasks)
+}
 
 // Experiments returns every registered experiment (the paper's scenario 1
 // and 2 plus the built-in ablation grid, jitter ladder, and
