@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate bench-long lint experiments examples ci
+.PHONY: build test race bench bench-json bench-gate bench-long bench-ff lint experiments examples ci
 
 build:
 	$(GO) build ./...
@@ -19,22 +19,22 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-json: rewrite BENCH_5.json (machine-readable ns/op, B/op,
+## bench-json: rewrite BENCH_7.json (machine-readable ns/op, B/op,
 ## allocs/op, and custom metrics per benchmark) from a 3-iteration run,
-## printing the ns/op and allocs/op delta against BENCH_3.json — the frozen
-## pre-incremental-engine baseline — first. This is how the perf trajectory
+## printing the ns/op and allocs/op delta against BENCH_5.json — the frozen
+## pre-fast-forward baseline — first. This is how the perf trajectory
 ## stays trackable across PRs.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x . \
-		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_3.json -out BENCH_5.json
+		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_5.json -out BENCH_7.json
 
 ## bench-gate: the CI allocation gate — re-run the pinned benches and fail
-## on a >25% allocs/op regression against the committed BENCH_5.json.
+## on a >25% allocs/op regression against the committed BENCH_7.json.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention|BenchmarkOverloadTail' \
+	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention|BenchmarkOverloadTail|BenchmarkSteadyState' \
 		-benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_5.json -out /tmp/bench-current.json \
-			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/|BenchmarkOverloadTail/' \
+		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_7.json -out /tmp/bench-current.json \
+			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/|BenchmarkOverloadTail/|BenchmarkSteadyState/' \
 			-max-allocs-regress 25
 
 ## bench-long: the long-horizon memory benchmark alone — verifies that
@@ -42,6 +42,12 @@ bench-gate:
 ## (streaming metrics + job recycling; see DESIGN.md §8).
 bench-long:
 	$(GO) test -run '^$$' -bench BenchmarkLongHorizon -benchmem -benchtime 1x .
+
+## bench-ff: the steady-state fast-forward benchmarks — the eligible 60 s
+## run with the detector on versus DisableFastForward, plus the long-horizon
+## sweep it collapses (see DESIGN.md §12).
+bench-ff:
+	$(GO) test -run '^$$' -bench 'BenchmarkSteadyState|BenchmarkLongHorizon' -benchmem -benchtime 1x .
 
 lint:
 	$(GO) vet ./...

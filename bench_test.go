@@ -366,20 +366,34 @@ func BenchmarkSingleRun(b *testing.B) {
 	})
 }
 
-// BenchmarkLongHorizon is the O(active-jobs) memory benchmark: the same
-// saturating workload simulated over a 2 s and a 60 s horizon through a
-// reused Session. With streaming metrics and job recycling, allocations per
-// simulated second are independent of horizon length (the 60 s case amortises
-// per-run setup 30× further, so its allocs/simsec may only be lower) — before
-// PR 3, every released job was retained and the 60 s run held ~30× the heap.
-// The allocs/simsec metric feeds the CI benchmark-delta report via
-// BENCH_3.json.
+// ffEligible makes a configuration fast-forward eligible: contention
+// jitter — the only stochastic draw inside the device — zeroed, everything
+// else the calibrated default, with the seed offset Normalize would apply.
+func ffEligible(cfg sgprs.RunConfig) sgprs.RunConfig {
+	g := gpu.DefaultConfig()
+	g.ContentionJitter = 0
+	g.Seed = cfg.Seed + 1
+	cfg.GPU = g
+	return cfg
+}
+
+// BenchmarkLongHorizon is the long-horizon cost benchmark: the same
+// saturating workload simulated over 2 s, 60 s, and 600 s horizons through
+// a reused Session. With streaming metrics and job recycling, allocations
+// per simulated second are independent of horizon length — before PR 3,
+// every released job was retained and the 60 s run held ~30× the heap. The
+// configuration is fast-forward eligible, so past the first recurrence the
+// detector extrapolates whole hyperperiod cycles analytically: wall time
+// and allocations collapse to roughly one cycle's worth however long the
+// horizon (the 600 s case is the stress point — simulating it in full costs
+// ~100× the 6 s acceptance grids). The allocs/simsec metric feeds the CI
+// benchmark-delta report via BENCH_7.json.
 func BenchmarkLongHorizon(b *testing.B) {
-	for _, sec := range []float64{2, 60} {
+	for _, sec := range []float64{2, 60, 600} {
 		sec := sec
 		b.Run(fmt.Sprintf("horizon-%.0fs", sec), func(b *testing.B) {
 			b.ReportAllocs()
-			cfg := ablationBase()
+			cfg := ffEligible(ablationBase())
 			cfg.HorizonSec = sec
 			sess := sim.NewSession(memo.New())
 			if _, err := sess.Run(cfg); err != nil {
@@ -396,6 +410,41 @@ func BenchmarkLongHorizon(b *testing.B) {
 			b.StopTimer()
 			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N)/sec, "allocs/simsec")
+		})
+	}
+}
+
+// BenchmarkSteadyState is the fast-forward headline: the identical eligible
+// 60 s run with the detector on versus DisableFastForward. The reference
+// simulates every one of the ~1800 release cycles; fast-forward simulates a
+// few dozen boundaries, extrapolates the rest analytically, and the results
+// stay bit-identical (TestFastForwardBitIdenticalScenarios pins this).
+// cycles_skipped reports how much of the horizon was never simulated.
+func BenchmarkSteadyState(b *testing.B) {
+	base := ffEligible(ablationBase())
+	base.HorizonSec = 60
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fast-forward", false}, {"full-sim", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := base
+			cfg.DisableFastForward = mode.disable
+			sess := sim.NewSession(memo.New())
+			var res sgprs.Result
+			var err error
+			if _, err = sess.Run(cfg); err != nil {
+				b.Fatal(err) // reach steady state outside the timed loop
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res, err = sess.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.FastForward.CyclesSkipped), "cycles_skipped")
 		})
 	}
 }

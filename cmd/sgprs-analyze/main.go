@@ -141,8 +141,13 @@ func main() {
 		log.Print(runErr)
 	}
 	for _, p := range series {
-		fmt.Printf("  %2d tasks: %6.1f fps, %d misses\n",
+		fmt.Printf("  %2d tasks: %6.1f fps, %d misses",
 			p.Tasks, p.Summary.TotalFPS, p.Summary.Missed)
+		if ff := p.FastForward; ff.CyclesSkipped > 0 {
+			fmt.Printf(" (fast-forward: %d cycles detected, %d skipped)",
+				ff.CyclesDetected, ff.CyclesSkipped)
+		}
+		fmt.Println()
 	}
 	if runErr != nil {
 		os.Exit(1)

@@ -28,7 +28,7 @@
 //	sgprs-sweep -list
 //	sgprs-sweep -experiment jitter-ladder [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
 //	sgprs-sweep -experiment overload-tail [-rate 1,1.5,2] [-slo 33.3]
-//	sgprs-sweep -scenario 1 [-arrival poisson] [-trace arrivals.csv] [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
+//	sgprs-sweep -scenario 1 [-arrival poisson] [-arrival-period 8] [-trace arrivals.csv] [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
 //	sgprs-sweep -config experiment.json
 package main
 
@@ -68,6 +68,7 @@ func main() {
 	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization (re-profile every run)")
 	cacheStats := flag.Bool("offline-stats", false, "report offline-cache hit/miss counts on stderr")
 	arrival := flag.String("arrival", "", "open-loop arrival process: periodic|poisson|bursty|diurnal, optionally kind:rate (arrivals/s per task, 0 = natural rate; mmpp and full control via -config)")
+	arrivalPeriod := flag.Float64("arrival-period", 0, "cycle length in seconds for bursty/diurnal -arrival processes (0 = defaults: 5 s diurnal cycle, 1 s on + 1 s off bursty windows); bursty splits the period into equal halves")
 	tracePath := flag.String("trace", "", "replay a trace file (.csv or .json) as the arrival process (overrides -arrival)")
 	rates := flag.String("rate", "", "arrival-rate axis: comma-separated intensity multipliers (e.g. 1,1.25,1.5); needs -arrival, -trace, or an experiment with arrivals")
 	slo := flag.Float64("slo", 0, "response-time SLO in milliseconds (0 = none); reported as SLO hit rate")
@@ -96,7 +97,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := applyTraffic(spec, *arrival, *tracePath, *rates, *slo); err != nil {
+	if err := applyTraffic(spec, *arrival, *tracePath, *rates, *slo, *arrivalPeriod); err != nil {
 		log.Fatal(err)
 	}
 
@@ -203,7 +204,7 @@ func resolveSpec(cfgPath, experiment string, scenario int, tasks string, horizon
 // the arrival process (or trace) on every variant, the SLO, and the
 // arrival-rate axis. Empty flags leave the spec untouched, so registered
 // experiments with their own arrivals run as declared.
-func applyTraffic(spec *exp.Spec, arrival, tracePath, rates string, sloMS float64) error {
+func applyTraffic(spec *exp.Spec, arrival, tracePath, rates string, sloMS, periodSec float64) error {
 	var proc workload.Arrival
 	switch {
 	case tracePath != "":
@@ -213,7 +214,7 @@ func applyTraffic(spec *exp.Spec, arrival, tracePath, rates string, sloMS float6
 		}
 		proc = workload.Trace{Data: data}
 	case arrival != "":
-		p, err := parseArrival(arrival)
+		p, err := parseArrival(arrival, periodSec)
 		if err != nil {
 			return err
 		}
@@ -251,10 +252,12 @@ func applyTraffic(spec *exp.Spec, arrival, tracePath, rates string, sloMS float6
 }
 
 // parseArrival translates the -arrival flag ("poisson", "poisson:45",
-// "bursty:60", ...) into a process. Bursty gets 1 s ON / 1 s OFF windows
-// and diurnal one 5 s cycle up to the given peak; richer shapes (MMPP,
-// custom windows) go through a -config file's arrival block.
-func parseArrival(s string) (workload.Arrival, error) {
+// "bursty:60", ...) into a process. periodSec is the -arrival-period flag:
+// the diurnal cycle length, or the bursty on+off window pair (split into
+// equal halves); zero keeps the historical defaults (5 s diurnal cycle,
+// 1 s + 1 s bursty windows). Richer shapes (MMPP, custom windows) go
+// through a -config file's arrival block.
+func parseArrival(s string, periodSec float64) (workload.Arrival, error) {
 	kind, rest, _ := strings.Cut(s, ":")
 	rate := 0.0
 	if rest != "" {
@@ -264,15 +267,30 @@ func parseArrival(s string) (workload.Arrival, error) {
 		}
 		rate = v
 	}
-	switch strings.TrimSpace(kind) {
+	if periodSec < 0 {
+		return nil, fmt.Errorf("invalid arrival period %v (must be >= 0)", periodSec)
+	}
+	k := strings.TrimSpace(kind)
+	if periodSec > 0 && k != "bursty" && k != "diurnal" {
+		return nil, fmt.Errorf("-arrival-period applies only to bursty and diurnal arrivals, not %q", k)
+	}
+	switch k {
 	case "periodic":
 		return workload.Periodic{Rate: rate}, nil
 	case "poisson":
 		return workload.Poisson{Rate: rate}, nil
 	case "bursty":
-		return workload.Bursty{OnSec: 1, OffSec: 1, Rate: rate}, nil
+		on := 1.0
+		if periodSec > 0 {
+			on = periodSec / 2
+		}
+		return workload.Bursty{OnSec: on, OffSec: on, Rate: rate}, nil
 	case "diurnal":
-		return workload.Diurnal{PeriodSec: 5, MaxRate: rate}, nil
+		period := 5.0
+		if periodSec > 0 {
+			period = periodSec
+		}
+		return workload.Diurnal{PeriodSec: period, MaxRate: rate}, nil
 	default:
 		return nil, fmt.Errorf("unknown arrival %q (want periodic, poisson, bursty, or diurnal; mmpp and traces via -config/-trace)", kind)
 	}

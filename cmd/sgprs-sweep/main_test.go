@@ -1,0 +1,49 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"sgprs/internal/workload"
+)
+
+// TestParseArrivalPeriod pins the -arrival/-arrival-period flag pair: the
+// period threads into the diurnal cycle and the bursty window pair, zero
+// keeps the historical defaults, and misuse (negative periods, periods on
+// memoryless processes) is rejected rather than silently ignored.
+func TestParseArrivalPeriod(t *testing.T) {
+	cases := []struct {
+		name    string
+		arrival string
+		period  float64
+		want    workload.Arrival
+		wantErr bool
+	}{
+		{"diurnal-default", "diurnal:40", 0, workload.Diurnal{PeriodSec: 5, MaxRate: 40}, false},
+		{"diurnal-period", "diurnal:40", 12, workload.Diurnal{PeriodSec: 12, MaxRate: 40}, false},
+		{"bursty-default", "bursty:60", 0, workload.Bursty{OnSec: 1, OffSec: 1, Rate: 60}, false},
+		{"bursty-period", "bursty:60", 4, workload.Bursty{OnSec: 2, OffSec: 2, Rate: 60}, false},
+		{"poisson-unaffected", "poisson:45", 0, workload.Poisson{Rate: 45}, false},
+		{"poisson-period", "poisson:45", 3, nil, true},
+		{"periodic-period", "periodic", 3, nil, true},
+		{"negative-period", "diurnal", -1, nil, true},
+		{"bad-kind", "sawtooth", 0, nil, true},
+		{"bad-rate", "diurnal:fast", 0, nil, true},
+	}
+	for _, tc := range cases {
+		got, err := parseArrival(tc.arrival, tc.period)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: parseArrival(%q, %v) = %+v, want error", tc.name, tc.arrival, tc.period, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: parseArrival(%q, %v): %v", tc.name, tc.arrival, tc.period, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: parseArrival(%q, %v) = %+v, want %+v", tc.name, tc.arrival, tc.period, got, tc.want)
+		}
+	}
+}

@@ -170,6 +170,10 @@ type Scheduler struct {
 	assigned   uint64
 	dropped    uint64
 	replaced   uint64
+
+	// EncodeState scratch (ff.go), reused across fingerprint boundaries.
+	encStages []*rt.StageJob
+	encIDs    []int
 }
 
 // New validates cfg and returns an unattached scheduler.

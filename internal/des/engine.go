@@ -81,6 +81,8 @@ type Engine struct {
 	free     []*Event
 	stopped  bool
 	fired    uint64
+	// encScratch is EncodePending's reused sort buffer (see warp.go).
+	encScratch []*Event
 }
 
 // NewEngine returns an engine positioned at the simulation epoch.

@@ -1,0 +1,117 @@
+package des
+
+import (
+	"math"
+	"slices"
+)
+
+// This file is the engine half of the steady-state fast-forward layer
+// (DESIGN.md §12): a canonical byte encoding of the pending-event set, the
+// append helpers every package reuses for its own state fingerprint, and
+// Warp, which translates the whole schedule forward in time after whole
+// cycles have been extrapolated analytically.
+
+// Canonical little-endian append helpers. All fast-forward fingerprints are
+// built from these, so two encodings are byte-equal exactly when every
+// encoded field is bit-equal (floats compare by their IEEE-754 bits, which
+// is stricter than ==: it distinguishes -0 from +0 and never equates NaNs
+// with themselves spuriously — fingerprints must never say "equal" for
+// states == would treat differently).
+
+// AppendU64 appends v in little-endian order.
+func AppendU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendI64 appends v via its two's-complement bit pattern.
+func AppendI64(buf []byte, v int64) []byte { return AppendU64(buf, uint64(v)) }
+
+// AppendF64 appends the IEEE-754 bit pattern of v.
+func AppendF64(buf []byte, v float64) []byte { return AppendU64(buf, math.Float64bits(v)) }
+
+// AppendTime appends a simulated instant (or duration) bit pattern.
+func AppendTime(buf []byte, t Time) []byte { return AppendU64(buf, uint64(t)) }
+
+// AppendBool appends 1 or 0.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendStr appends a length-prefixed string.
+func AppendStr(buf []byte, s string) []byte {
+	buf = AppendU64(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// EncodePending appends a canonical encoding of the pending-event set to buf
+// and returns the extended slice. Events are encoded in authoritative firing
+// order — sorted by (trueAt, trueSeq), the key dispatch actually uses, so
+// stale heap positions and the monotone lane are invisible, exactly as they
+// are in the firing order. Each event contributes its label, an identity tag
+// resolved by the caller's tag callback (distinguishing same-label events,
+// e.g. which running kernel a "gpu.finish" belongs to), and its firing
+// instant relative to the current clock. Absolute times and raw sequence
+// numbers are excluded: two boundaries one cycle apart must encode
+// identically, and only relative times and relative order recur.
+//
+// Two equal encodings imply the same future dispatch sequence: the multiset
+// of (label, tag, offset) triples matches and so does the relative order of
+// same-instant events, while events scheduled after the snapshot draw fresh
+// sequence numbers larger than every pending one in both worlds.
+//
+// The engine's state is untouched; scratch is retained for reuse.
+func (e *Engine) EncodePending(buf []byte, tag func(label string, arg any) uint64) []byte {
+	sc := e.encScratch[:0]
+	for _, ev := range e.queue {
+		if !ev.cancel {
+			sc = append(sc, ev)
+		}
+	}
+	for _, ev := range e.mono[e.monoHead:] {
+		sc = append(sc, ev)
+	}
+	slices.SortFunc(sc, func(a, b *Event) int {
+		if a.trueAt != b.trueAt {
+			if a.trueAt < b.trueAt {
+				return -1
+			}
+			return 1
+		}
+		if a.trueSeq < b.trueSeq {
+			return -1
+		}
+		return 1
+	})
+	buf = AppendU64(buf, uint64(len(sc)))
+	for _, ev := range sc {
+		buf = AppendStr(buf, ev.label)
+		buf = AppendU64(buf, tag(ev.label, ev.arg))
+		buf = AppendTime(buf, ev.trueAt-e.now)
+	}
+	e.encScratch = sc
+	return buf
+}
+
+// Warp advances the clock by delta and translates every pending event with
+// it, preserving all relative offsets. The heap is untouched: adding one
+// constant to every key preserves the heap order, the monotone lane stays
+// nondecreasing, and a stale event's lower-bound heap position stays a lower
+// bound. Sequence numbers are untouched, so pending events still order before
+// anything scheduled after the warp — exactly as they would had the skipped
+// interval been simulated.
+func (e *Engine) Warp(delta Time) {
+	e.now += delta
+	for _, ev := range e.queue {
+		ev.at += delta
+		ev.trueAt += delta
+	}
+	for _, ev := range e.mono[e.monoHead:] {
+		ev.at += delta
+		ev.trueAt += delta
+	}
+}

@@ -54,8 +54,11 @@ func (r *ResultSet) Series() map[string][]metrics.Point {
 		if res.Err != nil {
 			continue
 		}
-		series[res.Job.Variant] = append(series[res.Job.Variant],
-			metrics.Point{Tasks: res.Job.Tasks, Summary: res.Result.Summary})
+		series[res.Job.Variant] = append(series[res.Job.Variant], metrics.Point{
+			Tasks:       res.Job.Tasks,
+			Summary:     res.Result.Summary,
+			FastForward: res.Result.FastForward,
+		})
 	}
 	return series
 }

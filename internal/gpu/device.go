@@ -154,6 +154,14 @@ type Device struct {
 	completedKernels uint64
 	busySMTime       float64 // ∫ (effective SMs in use) dt, in SM·seconds
 	workDone         float64 // single-SM milliseconds retired
+
+	// Fast-forward measurement-cycle recording (ff.go): while recording,
+	// advance appends each accounting operand pair so ReplayCycles can
+	// re-apply the identical add sequence over extrapolated cycles.
+	recording    bool
+	recWork      []float64
+	recBusy      []float64
+	recCompleted uint64
 }
 
 // deviceRNG derives the device's stochastic stream from its seed; NewDevice
@@ -207,6 +215,10 @@ func (d *Device) Reset(cfg Config) error {
 	d.completedKernels = 0
 	d.busySMTime = 0
 	d.workDone = 0
+	d.recording = false
+	d.recWork = d.recWork[:0]
+	d.recBusy = d.recBusy[:0]
+	d.recCompleted = 0
 	return nil
 }
 

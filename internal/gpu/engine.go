@@ -128,8 +128,13 @@ func (d *Device) advance(now des.Time) {
 				done = k.remainingWork
 			}
 			k.remainingWork -= done
+			busy := k.effSMs * remaining / 1000
 			workDone += done
-			busySMTime += k.effSMs * remaining / 1000
+			busySMTime += busy
+			if d.recording {
+				d.recWork = append(d.recWork, done)
+				d.recBusy = append(d.recBusy, busy)
+			}
 		}
 	}
 	d.workDone, d.busySMTime = workDone, busySMTime

@@ -65,6 +65,16 @@ type Collector struct {
 	// the live interval slices cannot be sorted in place without breaking
 	// the BacklogSlot indexing.
 	depthStarts, depthEnds []des.Time
+
+	// Fast-forward measurement-cycle recording (ff.go): while recording,
+	// every lifecycle call appends an op so Replay can re-apply the cycle's
+	// metric writes over extrapolated cycles.
+	recording         bool
+	recOps            []ffOp
+	recStartsBase     int
+	recRespBase       int
+	recPerCycleStarts int
+	recPerCycleResp   int
 }
 
 // NewCollector builds a collector for the measurement window [warmUp,
@@ -87,6 +97,8 @@ func (c *Collector) Reset(warmUp, horizon des.Time) {
 	c.resp = c.resp[:0]
 	c.starts = c.starts[:0]
 	c.ends = c.ends[:0]
+	c.recording = false
+	c.recOps = c.recOps[:0]
 }
 
 // SetSLO configures the response-time objective, milliseconds (0 = none),
@@ -104,11 +116,14 @@ func (c *Collector) JobReleased(j *rt.Job, now des.Time) {
 	c.ends = append(c.ends, des.Never)
 	if j.Release < c.warmUp || j.Deadline >= c.horizon {
 		j.MetricsSlot = -1
-		return
+	} else {
+		j.MetricsSlot = len(c.resp)
+		c.released++
+		c.resp = append(c.resp, math.NaN())
 	}
-	j.MetricsSlot = len(c.resp)
-	c.released++
-	c.resp = append(c.resp, math.NaN())
+	if c.recording {
+		c.recordRelease(j)
+	}
 }
 
 // JobDone implements rt.JobWatcher: it records a completion. Completions
@@ -119,7 +134,8 @@ func (c *Collector) JobDone(j *rt.Job, now des.Time) {
 	if j.BacklogSlot >= 0 {
 		c.ends[j.BacklogSlot] = now
 	}
-	if now >= c.warmUp && now < c.horizon {
+	inWin := now >= c.warmUp && now < c.horizon
+	if inWin {
 		c.completed++
 	}
 	if j.MetricsSlot >= 0 {
@@ -128,6 +144,9 @@ func (c *Collector) JobDone(j *rt.Job, now des.Time) {
 			c.lateCompleted++
 		}
 		c.resp[j.MetricsSlot] = j.ResponseTime().Milliseconds()
+	}
+	if c.recording {
+		c.recordDone(j, now, inWin)
 	}
 }
 
@@ -141,6 +160,9 @@ func (c *Collector) JobDiscarded(j *rt.Job, now des.Time) {
 	}
 	if j.MetricsSlot >= 0 {
 		c.dropped++
+	}
+	if c.recording {
+		c.recordDiscard(j, now)
 	}
 }
 

@@ -238,6 +238,9 @@ func queueDepth(starts, ends []des.Time, warmUp, horizon des.Time) (integral int
 type Point struct {
 	Tasks   int
 	Summary Summary
+	// FastForward reports the steady-state fast-forward layer's activity
+	// for this point (all-zero when it never engaged).
+	FastForward FFStats
 }
 
 // PivotPoint reports the paper's pivot: the largest task count that the

@@ -1,0 +1,16 @@
+package naive
+
+import "sgprs/internal/des"
+
+// EncodeState appends the baseline's dynamic state for the fast-forward
+// fingerprint (DESIGN.md §12). Beyond the device — which encodes every
+// stream's queued and running kernels itself — the only state a partition
+// carries is which task it last executed (it decides the next reconfiguration
+// charge). Jobs are referenced only through kernel Args, so the device's
+// enumeration covers live-job discovery and no ForEachJob is needed here.
+func (s *Scheduler) EncodeState(buf []byte) []byte {
+	for _, p := range s.parts {
+		buf = des.AppendI64(buf, int64(p.lastTask))
+	}
+	return buf
+}

@@ -91,15 +91,17 @@ type Scenario struct {
 
 // metricTables lists the per-metric tables WriteText renders: the paper's
 // FPS and DMR always, the tail latency always (it is computed either way),
-// and the overload pair — drop rate, SLO hit rate — only when some point
-// recorded them, so closed-loop output keeps its classic shape.
+// the overload pair — drop rate, SLO hit rate — only when some point
+// recorded them, and the fast-forward cycle counters only when some point
+// actually skipped cycles, so closed-loop output keeps its classic shape.
 func (s *Scenario) metricTables() []string {
 	tables := []string{"total FPS", "DMR", "p99 ms"}
-	dropped, slo := false, false
+	dropped, slo, ff := false, false, false
 	for _, name := range s.Order {
 		for _, p := range s.Series[name] {
 			dropped = dropped || p.Summary.Dropped > 0
 			slo = slo || p.Summary.SLOMS > 0
+			ff = ff || p.FastForward.CyclesSkipped > 0
 		}
 	}
 	if dropped {
@@ -107,6 +109,9 @@ func (s *Scenario) metricTables() []string {
 	}
 	if slo {
 		tables = append(tables, "SLO hit rate")
+	}
+	if ff {
+		tables = append(tables, "ff cycles (detected/skipped)")
 	}
 	return tables
 }
@@ -150,6 +155,8 @@ func (s *Scenario) WriteText(w io.Writer) error {
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.DropRate)
 				case metric == "SLO hit rate":
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.SLOHitRate)
+				case metric == "ff cycles (detected/skipped)":
+					fmt.Fprintf(tw, "\t%d/%d", p.FastForward.CyclesDetected, p.FastForward.CyclesSkipped)
 				default:
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.DMR)
 				}
@@ -179,13 +186,16 @@ func (s *Scenario) WriteText(w io.Writer) error {
 
 // WriteCSV renders the dataset as long-form CSV: variant,tasks,fps,dmr,
 // released,completed,missed plus the open-loop columns (dropped,drop_rate,
-// p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate — zero for closed-loop
-// runs, so the schema is stable across traffic models).
+// p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate) and the steady-state
+// fast-forward counters (ff_cycles_detected,ff_cycles_skipped) — zero for
+// closed-loop or ineligible runs, so the schema is stable across traffic
+// models.
 func (s *Scenario) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"variant", "tasks", "fps", "dmr", "released", "completed", "missed",
 		"dropped", "drop_rate", "p99_ms", "p999_ms", "queue_max", "queue_mean", "slo_hit_rate",
+		"ff_cycles_detected", "ff_cycles_skipped",
 	}); err != nil {
 		return err
 	}
@@ -206,6 +216,8 @@ func (s *Scenario) WriteCSV(w io.Writer) error {
 				strconv.Itoa(p.Summary.QueueDepthMax),
 				strconv.FormatFloat(p.Summary.QueueDepthMean, 'f', 3, 64),
 				strconv.FormatFloat(p.Summary.SLOHitRate, 'f', 4, 64),
+				strconv.FormatUint(p.FastForward.CyclesDetected, 10),
+				strconv.FormatUint(p.FastForward.CyclesSkipped, 10),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

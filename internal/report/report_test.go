@@ -154,6 +154,31 @@ func TestScenarioTextGaps(t *testing.T) {
 	}
 }
 
+// TestScenarioFFTable pins the fast-forward table's gating: absent from
+// classic output, present (with detected/skipped cells) once any point
+// actually skipped cycles.
+func TestScenarioFFTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mkScenario().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ff cycles") {
+		t.Errorf("fast-forward table rendered for a run that never engaged:\n%s", buf.String())
+	}
+	s := mkScenario()
+	s.Series["naive"][0].FastForward = metrics.FFStats{CyclesDetected: 1, CyclesSkipped: 178}
+	buf.Reset()
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ff cycles (detected/skipped):", "1/178", "0/0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fast-forward table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestScenarioCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := mkScenario().WriteCSV(&buf); err != nil {
@@ -164,7 +189,8 @@ func TestScenarioCSV(t *testing.T) {
 		t.Fatalf("lines = %d", len(lines))
 	}
 	if lines[0] != "variant,tasks,fps,dmr,released,completed,missed,"+
-		"dropped,drop_rate,p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate" {
+		"dropped,drop_rate,p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate,"+
+		"ff_cycles_detected,ff_cycles_skipped" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "naive,10,300.0,") {

@@ -41,7 +41,11 @@ func seriesOf(results []JobResult) []metrics.Point {
 		if r.Err != nil {
 			continue
 		}
-		series = append(series, metrics.Point{Tasks: r.Job.Tasks, Summary: r.Result.Summary})
+		series = append(series, metrics.Point{
+			Tasks:       r.Job.Tasks,
+			Summary:     r.Result.Summary,
+			FastForward: r.Result.FastForward,
+		})
 	}
 	return series
 }

@@ -1,6 +1,10 @@
 package sched
 
-import "sgprs/internal/rt"
+import (
+	"slices"
+
+	"sgprs/internal/rt"
+)
 
 // EDFQueue is a deterministic earliest-deadline-first priority queue of stage
 // jobs. Ties on the absolute deadline break by (task ID, job index, stage
@@ -120,6 +124,33 @@ func (m *MultiLevelQueue) PopAtMost(maxLevel, minLevel rt.Level) *rt.StageJob {
 		}
 	}
 	return nil
+}
+
+// Snapshot appends the queue's stages to dst in pop order (EDF, ties by the
+// total key). The heap's internal layout is a function of its push/pop
+// history, which never influences pop order — the key is total — so the
+// fast-forward fingerprint must not depend on it either: two queues with
+// equal contents but different layouts behave identically and must encode
+// identically. The queue is unchanged.
+func (q *EDFQueue) Snapshot(dst []*rt.StageJob) []*rt.StageJob {
+	n := len(dst)
+	dst = append(dst, q.h...)
+	slices.SortFunc(dst[n:], func(a, b *rt.StageJob) int {
+		if edfBefore(a, b) {
+			return -1
+		}
+		return 1
+	})
+	return dst
+}
+
+// Snapshot appends the queue's stages level by level (high to low), each
+// level in pop order; see EDFQueue.Snapshot.
+func (m *MultiLevelQueue) Snapshot(dst []*rt.StageJob) []*rt.StageJob {
+	for l := rt.LevelHigh; l >= rt.LevelLow; l-- {
+		dst = m.levels[l].Snapshot(dst)
+	}
+	return dst
 }
 
 // Peek returns the most urgent stage without removing it, or nil.

@@ -42,6 +42,22 @@ type Session struct {
 	profCfg gpu.Config
 
 	tasks map[taskSetKey][]*rt.Task
+
+	// Fast-forward state (fastforward.go), reused across runs: the
+	// fingerprint build buffer, the arena of stored boundary fingerprints
+	// with their hash index, and the live-job warp dedup set. ffHash and
+	// ffTrace are test hooks: ffHash overrides the fingerprint hash (the
+	// collision-safety tests truncate it to force collisions) and ffTrace,
+	// when set, fires at every release boundary — on the fast-forward and
+	// the reference path alike — so the lockstep equivalence tests can
+	// compare collector state boundary by boundary.
+	ffBuf    []byte
+	ffArena  []byte
+	ffEnts   []ffEntry
+	ffHashes map[uint64]int
+	ffJobs   map[*rt.Job]bool
+	ffHash   func([]byte) uint64
+	ffTrace  func(now des.Time)
 }
 
 // taskSetKey identifies a built task set: everything Build derives tasks
@@ -155,7 +171,7 @@ func (s *Session) Run(cfg RunConfig) (Result, error) {
 	gen.UsePool(&s.pool)
 	gen.SetArrival(cfg.Arrival)
 	gen.Start(tasks, horizon)
-	s.eng.RunUntil(horizon)
+	ff := s.runToHorizon(cfg, scheduler, gen, tasks, warmUp, horizon)
 
 	sum := s.collector.Summary()
 	pm := gpu.DefaultPowerModel()
@@ -163,6 +179,7 @@ func (s *Session) Run(cfg RunConfig) (Result, error) {
 		Name:              cfg.Name,
 		Tasks:             cfg.NumTasks,
 		Summary:           sum,
+		FastForward:       ff,
 		DeviceUtilization: s.dev.Utilization(),
 		EnergyJoules:      s.dev.EnergyJoules(pm),
 		AvgPowerW:         s.dev.AveragePowerW(pm),

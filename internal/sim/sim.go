@@ -97,6 +97,13 @@ type RunConfig struct {
 	// Observer, when non-nil, receives every kernel start/finish (e.g. a
 	// trace.Recorder).
 	Observer gpu.Observer
+
+	// DisableFastForward forces full simulation of every cycle instead of
+	// the steady-state fast-forward (DESIGN.md §12). Results are
+	// bit-identical either way — the equivalence tests run both modes
+	// against each other — so this exists as the retained reference those
+	// tests compare to, mirroring gpu.Config.DisableIncremental.
+	DisableFastForward bool
 }
 
 // Normalize fills defaults and validates. Zero values default; negative
@@ -191,6 +198,10 @@ type Result struct {
 	AvgPowerW    float64
 	// FPSPerWatt is the run's efficiency: total FPS over average power.
 	FPSPerWatt float64
+	// FastForward reports the steady-state fast-forward layer's activity
+	// (all-zero when it never engaged: ineligible workload, disabled, or
+	// the batch reference path).
+	FastForward metrics.FFStats
 }
 
 // ReferenceGraph builds the calibrated ResNet18 benchmark graph.
@@ -436,7 +447,7 @@ func sweepSeriesOn(sess *Session, base RunConfig, taskCounts []int) ([]metrics.P
 		if err != nil {
 			return nil, fmt.Errorf("sim: sweep %s n=%d: %w", base.Name, n, err)
 		}
-		series = append(series, metrics.Point{Tasks: n, Summary: res.Summary})
+		series = append(series, metrics.Point{Tasks: n, Summary: res.Summary, FastForward: res.FastForward})
 	}
 	return series, nil
 }

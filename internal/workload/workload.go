@@ -165,6 +165,7 @@ type Generator struct {
 	sink    JobSink
 	pool    *rt.JobPool
 	arrival Arrival
+	chains  []*releaseChain
 }
 
 // NewGenerator wires a generator to the engine and scheduler. The seed feeds
@@ -238,78 +239,182 @@ func (g *Generator) JobDiscarded(j *rt.Job, now des.Time) {
 // scale.
 func (g *Generator) Start(tasks []*rt.Task, horizon des.Time) {
 	for _, t := range tasks {
-		t := t
-		rng := g.rng.Fork(uint64(t.ID) + 1)
-		label := "release:" + t.Name
 		// One release is in flight per task at any instant (the next is
 		// scheduled from the current one's callback), so a single mutable
-		// index and two closures serve the task's whole release chain;
-		// the events themselves are detached and recycle through the
-		// engine's pool.
-		idx := 0
-		var proc ArrivalProcess
+		// chain struct serves the task's whole release sequence; the events
+		// themselves are detached and recycle through the engine's pool. The
+		// chain is also the unit the fast-forward layer warps and
+		// fingerprints (see SteadyPeriod, Warp, and DESIGN.md §12).
+		c := &releaseChain{
+			g:       g,
+			t:       t,
+			rng:     g.rng.Fork(uint64(t.ID) + 1),
+			label:   "release:" + t.Name,
+			horizon: horizon,
+		}
 		if g.arrival != nil {
-			proc = g.arrival.Start(ArrivalTask{
+			c.proc = g.arrival.Start(ArrivalTask{
 				Index:  t.ID,
 				Count:  len(tasks),
 				Period: t.Period,
 				Offset: t.Offset,
 				Jitter: t.ReleaseJitter,
-			}, rng)
+			}, c.rng)
 		}
-		last := des.Time(0)
-		var fire func(now des.Time)
-		scheduleNext := func() {
-			var at des.Time
-			if proc != nil {
-				next, ok := proc.Next()
-				if !ok {
-					return
-				}
-				// Processes promise non-decreasing instants; clamp
-				// instead of letting a marginally early emission (a
-				// rounding artifact) trip the engine's no-past-events
-				// panic.
-				if next < last {
-					next = last
-				}
-				at, last = next, next
-			} else {
-				at = t.Offset.Add(des.Time(int64(t.Period) * int64(idx)))
-				if t.ReleaseJitter > 0 {
-					at = at.Add(des.Time(rng.Float64() * float64(t.ReleaseJitter)))
-				}
-			}
-			if at >= horizon {
-				return
-			}
-			g.eng.ScheduleFunc(at, label, fire)
-		}
-		fire = func(now des.Time) {
-			var job *rt.Job
-			if g.pool != nil {
-				job = g.pool.Get(t, idx, now)
-			} else {
-				job = t.NewJob(idx, now)
-			}
-			if t.WorkVariation > 0 {
-				job.WorkScale = rng.TruncNormal(
-					1, t.WorkVariation,
-					math.Max(0.5, 1-2*t.WorkVariation),
-					1+3*t.WorkVariation)
-			}
-			if g.sink != nil || g.pool != nil {
-				job.Watcher = g
-			} else {
-				g.jobs = append(g.jobs, job)
-			}
-			if g.sink != nil {
-				g.sink.JobReleased(job, now)
-			}
-			g.sched.OnRelease(job, now)
-			idx++
-			scheduleNext()
-		}
-		scheduleNext()
+		g.chains = append(g.chains, c)
+		c.scheduleNext()
 	}
+}
+
+// releaseChain is the mutable state of one task's release sequence: the next
+// frame index, the previous emission (the monotonicity clamp for arrival
+// processes), and the process itself when one is attached.
+type releaseChain struct {
+	g       *Generator
+	t       *rt.Task
+	rng     *des.RNG
+	label   string
+	proc    ArrivalProcess
+	idx     int
+	last    des.Time
+	horizon des.Time
+}
+
+// fireChain releases one job and schedules the task's next release. The
+// horizon guard is unreachable during plain simulation (scheduleNext never
+// queues an event at or past the horizon); it exists for warped pending
+// events — a release that lands at or past the horizon after a fast-forward
+// warp must not fire, exactly as full simulation would never have scheduled
+// it.
+func fireChain(now des.Time, arg any) {
+	c := arg.(*releaseChain)
+	if now >= c.horizon {
+		return
+	}
+	g, t := c.g, c.t
+	var job *rt.Job
+	if g.pool != nil {
+		job = g.pool.Get(t, c.idx, now)
+	} else {
+		job = t.NewJob(c.idx, now)
+	}
+	if t.WorkVariation > 0 {
+		job.WorkScale = c.rng.TruncNormal(
+			1, t.WorkVariation,
+			math.Max(0.5, 1-2*t.WorkVariation),
+			1+3*t.WorkVariation)
+	}
+	if g.sink != nil || g.pool != nil {
+		job.Watcher = g
+	} else {
+		g.jobs = append(g.jobs, job)
+	}
+	if g.sink != nil {
+		g.sink.JobReleased(job, now)
+	}
+	g.sched.OnRelease(job, now)
+	c.idx++
+	c.scheduleNext()
+}
+
+func (c *releaseChain) scheduleNext() {
+	var at des.Time
+	if c.proc != nil {
+		next, ok := c.proc.Next()
+		if !ok {
+			return
+		}
+		// Processes promise non-decreasing instants; clamp instead of
+		// letting a marginally early emission (a rounding artifact) trip
+		// the engine's no-past-events panic.
+		if next < c.last {
+			next = c.last
+		}
+		at, c.last = next, next
+	} else {
+		at = c.t.Offset.Add(des.Time(int64(c.t.Period) * int64(c.idx)))
+		if c.t.ReleaseJitter > 0 {
+			at = at.Add(des.Time(c.rng.Float64() * float64(c.t.ReleaseJitter)))
+		}
+		// last is the monotonicity clamp of the process path and is never
+		// read here, but tracking it keeps the chain's state a pure
+		// function of phase either way — the fast-forward fingerprint
+		// encodes it relative to the boundary.
+		c.last = at
+	}
+	if at >= c.horizon {
+		return
+	}
+	c.g.eng.AfterArg(at-c.g.eng.Now(), c.label, fireChain, c)
+}
+
+// SteadyPeriod reports whether every release chain is deterministic and
+// periodic with one shared spacing — the workload half of fast-forward
+// eligibility: zero release jitter, zero work variation, and either the
+// legacy periodic path or a Periodic arrival process with no jitter. Any
+// stochastic process (Poisson, bursty, MMPP, diurnal) or finite trace makes
+// the run ineligible, as does a mix of spacings. Must be called after Start.
+func (g *Generator) SteadyPeriod() (des.Time, bool) {
+	if len(g.chains) == 0 {
+		return 0, false
+	}
+	var period des.Time
+	for _, c := range g.chains {
+		if c.t.ReleaseJitter != 0 || c.t.WorkVariation != 0 {
+			return 0, false
+		}
+		p := c.t.Period
+		if c.proc != nil {
+			pp, ok := c.proc.(*periodicProcess)
+			if !ok || pp.jitter != 0 {
+				return 0, false
+			}
+			p = pp.period
+		}
+		if period == 0 {
+			period = p
+		} else if p != period {
+			return 0, false
+		}
+	}
+	return period, period > 0
+}
+
+// Warp translates every release chain forward by delta = frames · period:
+// frame indices advance by frames (so future releases and job indices match
+// what full simulation of the skipped interval would have produced — the
+// k-th release instant is an absolute function of the index) and the
+// monotonicity clamp shifts with the clock. Only valid for chains
+// SteadyPeriod accepted; their RNG streams are never consumed, so no draws
+// need replaying.
+func (g *Generator) Warp(delta des.Time, frames int) {
+	for _, c := range g.chains {
+		c.idx += frames
+		c.last += delta
+		if pp, ok := c.proc.(*periodicProcess); ok {
+			pp.idx += frames
+		}
+	}
+}
+
+// ForEachChain reports each task's ID, next frame index, and previous
+// emission instant. The index is the base the fast-forward fingerprint
+// encodes pending job indices relative to (two boundaries one cycle apart
+// must encode identically, and absolute frame indices grow by the cycle
+// length); the last emission is the monotonicity clamp, dynamic state the
+// fingerprint encodes relative to the boundary.
+func (g *Generator) ForEachChain(f func(taskID, nextIdx int, last des.Time)) {
+	for _, c := range g.chains {
+		f(c.t.ID, c.idx, c.last)
+	}
+}
+
+// EventTag resolves a pending release event's identity for the engine
+// fingerprint: chains of replicated tasks share one label ("release:" plus
+// the task name), so the tag distinguishes them by task ID.
+func (g *Generator) EventTag(arg any) (uint64, bool) {
+	if c, ok := arg.(*releaseChain); ok && c.g == g {
+		return uint64(c.t.ID) + 1, true
+	}
+	return 0, false
 }
