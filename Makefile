@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate bench-long bench-ff lint experiments examples ci
+.PHONY: build test race bench bench-json bench-gate bench-long bench-ff lint experiments examples fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -61,11 +61,18 @@ lint:
 experiments:
 	$(GO) run ./cmd/sgprs-sweep -list
 
-## examples: build every example, then smoke-run the quickstart and the
-## registry-driven experiment example (the CI examples gate).
+## examples: build every example, then smoke-run the quickstart, the
+## registry-driven experiment example, and the fault-injection walkthrough
+## (the CI examples gate).
 examples:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/registry
+	$(GO) run ./examples/faultinjection
 
-ci: lint build race examples bench bench-gate
+## fuzz-smoke: a short bounded run of every fuzz target — enough to catch
+## parser regressions on each push without burning CI minutes.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseTraceCSV -fuzztime 10s ./internal/workload/
+
+ci: lint build race examples fuzz-smoke bench bench-gate

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
 	"sgprs/internal/exp"
+	"sgprs/internal/fault"
 	"sgprs/internal/gpu"
 	"sgprs/internal/memo"
 	"sgprs/internal/profile"
@@ -50,6 +52,7 @@ func main() {
 	verify := flag.Bool("verify", false, "run a simulation sweep around the predicted pivot")
 	jobs := flag.Int("jobs", 0, "parallel workers for the verification sweep (0 = all CPUs)")
 	noCache := flag.Bool("no-offline-cache", false, "disable offline-phase memoization")
+	faults := flag.String("faults", "", "fault-injection config for the verification sweep: inline JSON or a file path (the analysis itself stays fault-free)")
 	flag.Parse()
 
 	if *list {
@@ -120,7 +123,14 @@ func main() {
 		analysis.ResponseEstimate(load, dev, pivot), task.Deadline)
 
 	if !*verify {
+		if *faults != "" {
+			log.Fatal("-faults applies to the verification sweep; add -verify")
+		}
 		return
+	}
+	fc, err := parseFaults(*faults)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("\nverification sweep (4 s simulated per point):")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -134,6 +144,7 @@ func main() {
 		FPS:        *fps,
 		Stages:     *stages,
 		HorizonSec: 4,
+		Faults:     fc,
 	}, counts, runner.Options{Jobs: *jobs, NoOfflineCache: *noCache})
 	// A failed point is reported with its coordinates; finished points
 	// still print.
@@ -146,6 +157,10 @@ func main() {
 		if ff := p.FastForward; ff.CyclesSkipped > 0 {
 			fmt.Printf(" (fast-forward: %d cycles detected, %d skipped)",
 				ff.CyclesDetected, ff.CyclesSkipped)
+		}
+		if f := p.Summary.Faults; f.Overruns > 0 || f.TransientFaults > 0 {
+			fmt.Printf(" (faults: %d overruns, %d transients, %d recovered, %d skipped, %d killed)",
+				f.Overruns, f.TransientFaults, f.Recoveries, f.SkippedJobs, f.KilledChains)
 		}
 		fmt.Println()
 	}
@@ -188,6 +203,31 @@ func fromExperiment(name string, n *int, fps *float64, stages *int) ([]int, erro
 		return append([]int(nil), v.ContextSMs...), nil
 	}
 	return nil, fmt.Errorf("experiment %q has no SGPRS variant with a context pool", name)
+}
+
+// parseFaults translates the -faults flag — inline JSON (recognised by its
+// leading '{') or a file path — into a validated fault configuration; empty
+// means none.
+func parseFaults(arg string) (*fault.Config, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("faults config: %w", err)
+		}
+		data = b
+	}
+	var fc fault.Config
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return nil, fmt.Errorf("faults config: %w", err)
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	return &fc, nil
 }
 
 func parsePool(s string) ([]int, error) {

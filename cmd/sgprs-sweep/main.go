@@ -28,12 +28,14 @@
 //	sgprs-sweep -list
 //	sgprs-sweep -experiment jitter-ladder [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
 //	sgprs-sweep -experiment overload-tail [-rate 1,1.5,2] [-slo 33.3]
+//	sgprs-sweep -experiment fault-resilience [-faults '{"transient":{"prob":0.05,"policy":"retry"}}']
 //	sgprs-sweep -scenario 1 [-arrival poisson] [-arrival-period 8] [-trace arrivals.csv] [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
 //	sgprs-sweep -config experiment.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +48,7 @@ import (
 
 	"sgprs/internal/config"
 	"sgprs/internal/exp"
+	"sgprs/internal/fault"
 	"sgprs/internal/memo"
 	"sgprs/internal/report"
 	"sgprs/internal/runner"
@@ -72,6 +75,7 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a trace file (.csv or .json) as the arrival process (overrides -arrival)")
 	rates := flag.String("rate", "", "arrival-rate axis: comma-separated intensity multipliers (e.g. 1,1.25,1.5); needs -arrival, -trace, or an experiment with arrivals")
 	slo := flag.Float64("slo", 0, "response-time SLO in milliseconds (0 = none); reported as SLO hit rate")
+	faults := flag.String("faults", "", "fault-injection config applied to every variant: inline JSON ('{\"transient\":{\"prob\":0.05}}') or a file path")
 	flag.Parse()
 
 	if *list {
@@ -98,6 +102,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := applyTraffic(spec, *arrival, *tracePath, *rates, *slo, *arrivalPeriod); err != nil {
+		log.Fatal(err)
+	}
+	if err := applyFaults(spec, *faults); err != nil {
 		log.Fatal(err)
 	}
 
@@ -247,6 +254,37 @@ func applyTraffic(spec *exp.Spec, arrival, tracePath, rates string, sloMS, perio
 		if !replaced {
 			spec.Axes = append(spec.Axes, exp.Rate(factors...))
 		}
+	}
+	return nil
+}
+
+// applyFaults overlays the -faults flag on every variant of the resolved
+// spec: the argument is either inline JSON (recognised by its leading '{')
+// or a path to a JSON file holding a fault.Config. Empty leaves the spec
+// untouched, so registered experiments with their own fault blocks run as
+// declared. Each variant gets its own deep copy — experiment axes mutate
+// per-cell clones and must never reach a shared block.
+func applyFaults(spec *exp.Spec, arg string) error {
+	if arg == "" {
+		return nil
+	}
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return fmt.Errorf("faults config: %w", err)
+		}
+		data = b
+	}
+	var fc fault.Config
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return fmt.Errorf("faults config: %w", err)
+	}
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	for i := range spec.Variants {
+		spec.Variants[i].Faults = fc.Clone()
 	}
 	return nil
 }

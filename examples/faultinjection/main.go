@@ -1,0 +1,58 @@
+// Fault injection: run the same 24-task SGPRS workload clean and under a
+// combined fault load — heavy-tailed WCET overruns, 5% transient kernel
+// faults, and a mid-run SM-degradation window — once per recovery policy,
+// and compare what each policy salvages.
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgprs"
+	"sgprs/internal/fault"
+)
+
+func main() {
+	log.SetFlags(0)
+	base := sgprs.RunConfig{
+		Kind:       sgprs.KindSGPRS,
+		Name:       "clean",
+		ContextSMs: []int{23, 23, 23},
+		NumTasks:   24,
+		HorizonSec: 5,
+		Seed:       7,
+	}
+	faults := &fault.Config{
+		Overrun:   &fault.Overrun{Model: fault.OverrunHeavyTail, Factor: 2},
+		Transient: &fault.Transient{Prob: 0.05, MaxRetries: 2},
+		Degradation: []fault.Window{
+			// The device drops to 20 effective SMs for one second mid-run.
+			{StartSec: 2, EndSec: 3, SMs: 20},
+		},
+	}
+
+	fmt.Println("Fault injection — 24 ResNet18 tasks, overruns + 5% transients + SM loss")
+	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "policy", "fps", "dmr", "transients", "recovered", "deg-dmr")
+	for _, policy := range []string{"", "retry", "skip-job", "kill-chain"} {
+		cfg := base
+		if policy != "" {
+			fc := faults.Clone()
+			fc.Transient.Policy = policy
+			cfg.Name = policy
+			cfg.Faults = fc
+		}
+		res, err := sgprs.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Summary.Faults
+		name := cfg.Name
+		if policy == "" {
+			name = "(no faults)"
+		}
+		fmt.Printf("%-12s %8.1f %8.4f %10d %10d %8.4f\n",
+			name, res.Summary.TotalFPS, res.Summary.DMR, f.TransientFaults, f.Recoveries, f.DegradedDMR)
+	}
+}

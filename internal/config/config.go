@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"sgprs/internal/exp"
+	"sgprs/internal/fault"
 	"sgprs/internal/sim"
 	"sgprs/internal/workload"
 )
@@ -43,6 +44,11 @@ type Experiment struct {
 	// RateFactors adds an arrival-rate axis multiplying the arrival
 	// intensity per sweep cell; requires Arrival.
 	RateFactors []float64 `json:"rate_factors,omitempty"`
+	// Faults configures the fault-injection layer for every variant (WCET
+	// overruns, transient kernel faults, SM degradation windows — DESIGN.md
+	// §13); omitted keeps the fault-free dynamics. The block serialises
+	// with fault.Config's own JSON tags.
+	Faults *fault.Config `json:"faults,omitempty"`
 }
 
 // Arrival is the serialisable arrival-process description; Build translates
@@ -172,6 +178,9 @@ func (e *Experiment) Normalize() error {
 	if len(e.RateFactors) > 0 && e.Arrival == nil {
 		return fmt.Errorf("config: rate_factors need an arrival block")
 	}
+	if err := e.Faults.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	return nil
 }
 
@@ -220,6 +229,7 @@ func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
 			Seed:       e.Seed,
 			Arrival:    arrival,
 			SLOMS:      e.SLOMS,
+			Faults:     e.Faults.Clone(),
 		})
 	}
 	return out, nil

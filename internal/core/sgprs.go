@@ -164,6 +164,7 @@ type Scheduler struct {
 	kernelPool []*gpu.Kernel
 	stateOf    []*ctxState
 	doneFn     func(k *gpu.Kernel, now des.Time)
+	retryFn    func(now des.Time, arg any)
 
 	// Stats.
 	promotions uint64
@@ -248,6 +249,7 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 		s.maxInflight = 1
 	}
 	s.doneFn = s.kernelDone
+	s.retryFn = func(now des.Time, arg any) { s.enqueue(arg.(*rt.StageJob), now) }
 	for i, sms := range s.cfg.ContextSMs {
 		ctx, err := dev.CreateContext(fmt.Sprintf("cp%d", i), sms)
 		if err != nil {
@@ -509,6 +511,51 @@ func (s *Scheduler) onStageDone(c *ctxState, st *rt.StageJob, now des.Time) {
 		} else {
 			s.ewmaPipeMS += alpha * (pipeMS - s.ewmaPipeMS)
 		}
+		s.jobOver(st.Job.Task.ID, now)
+	}
+	s.dispatch(c, now)
+}
+
+// RecoverKernel implements sched.FaultHandler: the fault injector has
+// aborted one of this scheduler's stage kernels mid-flight (the device
+// already evicted it and recomputed rates) and hands back the orphaned
+// kernel with the resolved recovery decision. The launch's charges against
+// the context — its in-flight slot and pending WCET — are unwound first, so
+// a retry re-enters the pipeline through the ordinary enqueue path (fresh
+// context assignment, queue discipline, entrance gate) exactly like a newly
+// ready stage, and a discarded frame leaves no residue in the finish-time
+// estimates.
+func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sched.RecoveryAction, backoff des.Time, now des.Time) {
+	st := k.Arg.(*rt.StageJob)
+	c := s.stateOf[stream.Context().ID()]
+	k.Reset()
+	s.kernelPool = append(s.kernelPool, k)
+	c.inFlight--
+	c.pendingWCET -= st.Job.Task.StageWCET(st.Index)
+	if c.pendingWCET < 0 {
+		c.pendingWCET = 0
+	}
+	switch action {
+	case sched.ActionRetry:
+		// Re-execution restarts the stage from scratch; the backoff
+		// models fault detection and relaunch latency.
+		if backoff <= 0 {
+			s.enqueue(st, now)
+		} else {
+			s.eng.AfterArg(backoff, "core.retry", s.retryFn, st)
+		}
+	case sched.ActionKillChain:
+		// Shed the task's backlog too: a held frame of the faulted task
+		// dies with the faulted frame.
+		if h := s.held[st.Job.Task.ID]; h != nil {
+			s.held[st.Job.Task.ID] = nil
+			s.dropped++
+			h.Discard(now)
+		}
+		fallthrough
+	case sched.ActionSkipJob:
+		s.dropped++
+		st.Job.Discard(now)
 		s.jobOver(st.Job.Task.ID, now)
 	}
 	s.dispatch(c, now)

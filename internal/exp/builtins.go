@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"sgprs/internal/fault"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
 	"sgprs/internal/workload"
@@ -150,5 +151,67 @@ func init() {
 		Description: "SGPRS 1.5x vs naive (2 contexts) replaying a shared synthetic arrival trace (60 rows/s, 8 s)",
 		Variants:    []sim.RunConfig{traceSGPRS, traceNaive},
 		Axes:        []Axis{Tasks(4, 8)},
+	})
+
+	// Fault resilience (DESIGN.md §13): each recovery policy against a
+	// rising transient-fault rate, plus the naive baseline (whose static
+	// partitions can only retry or drop). The fault-rate axis deep-copies
+	// each variant's fault block per grid cell, so the policies stay
+	// distinct across the sweep.
+	// A mild heavy-tailed overrun rides along on every variant: it stretches
+	// job responses enough that held successor frames are still viable when
+	// a fault hits, which is exactly the regime where skip-job and
+	// kill-chain diverge (without it they coincide — underloaded tasks hold
+	// nothing, and deep overload's held frames are doomed either way).
+	faultVariant := func(name, policy string) sim.RunConfig {
+		cfg := sgprs15(name, 3)
+		cfg.Faults = &fault.Config{
+			Overrun:   &fault.Overrun{Model: fault.OverrunHeavyTail, Factor: 1.5},
+			Transient: &fault.Transient{Policy: policy},
+		}
+		return cfg
+	}
+	faultNaive := sim.RunConfig{
+		Kind:       sim.KindNaive,
+		Name:       "naive-retry",
+		ContextSMs: sim.ContextPool(3, 1.0, speedup.DeviceSMs),
+		HorizonSec: 10,
+		Seed:       1,
+		NumTasks:   1,
+		Faults: &fault.Config{
+			Overrun:   &fault.Overrun{Model: fault.OverrunHeavyTail, Factor: 1.5},
+			Transient: &fault.Transient{Policy: "retry"},
+		},
+	}
+	MustRegister(&Spec{
+		Name:        "fault-resilience",
+		Description: "recovery policies (retry/skip-job/kill-chain) + naive baseline under rising transient-fault rates",
+		Variants: []sim.RunConfig{
+			faultVariant("sgprs-retry", "retry"),
+			faultVariant("sgprs-skip", "skip-job"),
+			faultVariant("sgprs-kill", "kill-chain"),
+			faultNaive,
+		},
+		Axes: []Axis{FaultRate(0, 0.01, 0.05, 0.10), Tasks(8, 16, 24, 30)},
+	})
+
+	// Overrun sweep: the three WCET-overrun models at matched worst-case
+	// inflation — does the rate engine absorb a constant tax better than a
+	// heavy tail or synchronized Nth-frame spikes?
+	overrunVariant := func(name string, o *fault.Overrun) sim.RunConfig {
+		cfg := sgprs15(name, 3)
+		cfg.Faults = &fault.Config{Overrun: o}
+		return cfg
+	}
+	MustRegister(&Spec{
+		Name:        "overrun-sweep",
+		Description: "WCET-overrun models (constant/heavy-tail/spike) at matched 1.5x worst case over the load ramp",
+		Variants: []sim.RunConfig{
+			sgprs15("no-overrun", 3),
+			overrunVariant("constant-1.5x", &fault.Overrun{Model: fault.OverrunConstant, Factor: 1.5}),
+			overrunVariant("heavy-tail-1.5x", &fault.Overrun{Model: fault.OverrunHeavyTail, Factor: 1.5}),
+			overrunVariant("spike-1.5x", &fault.Overrun{Model: fault.OverrunSpike, Factor: 1.5, Every: 10}),
+		},
+		Axes: []Axis{Tasks(8, 16, 23, 26)},
 	})
 }

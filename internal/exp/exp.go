@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sgprs/internal/fault"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
@@ -45,6 +46,8 @@ const (
 	AxisHorizonSec
 	AxisRate
 	AxisArrival
+	AxisFaultRate
+	AxisDegradation
 )
 
 // Kinds lists every axis kind in declaration order — the facade's
@@ -53,6 +56,7 @@ func Kinds() []AxisKind {
 	return []AxisKind{
 		AxisTasks, AxisOverSub, AxisFPS, AxisJitterMS,
 		AxisWorkVar, AxisHorizonSec, AxisRate, AxisArrival,
+		AxisFaultRate, AxisDegradation,
 	}
 }
 
@@ -75,6 +79,10 @@ func (k AxisKind) String() string {
 		return "arrival-rate"
 	case AxisArrival:
 		return "arrival"
+	case AxisFaultRate:
+		return "fault-rate"
+	case AxisDegradation:
+		return "degradation-sms"
 	default:
 		return fmt.Sprintf("axis(%d)", int(k))
 	}
@@ -100,6 +108,10 @@ func (k AxisKind) key() string {
 		return "rate"
 	case AxisArrival:
 		return "arr"
+	case AxisFaultRate:
+		return "fr"
+	case AxisDegradation:
+		return "deg"
 	default:
 		return k.String()
 	}
@@ -213,6 +225,25 @@ func Rate(factors ...float64) Axis { return Axis{Kind: AxisRate, Values: factors
 // bursty at matched average rate. Points are labeled by Arrival.Name.
 func Arrivals(procs ...workload.Arrival) Axis { return Axis{Kind: AxisArrival, Arrivals: procs} }
 
+// FaultRate sweeps the per-launch transient-fault probability: each value
+// overwrites Faults.Transient.Prob on a deep copy of the variant's fault
+// configuration (a nil Faults gains a minimal one whose recovery settings
+// are the package defaults). Zero disables transient faults for that point.
+func FaultRate(probs ...float64) Axis { return Axis{Kind: AxisFaultRate, Values: probs} }
+
+// DegradationSMs sweeps the degraded capacity: each value overwrites the SM
+// count of every degradation window of the variant's fault configuration.
+// The variant must carry at least one window in Faults.Degradation — the
+// axis sweeps how deep the dip goes, the template says when it happens;
+// Compile rejects the combination otherwise.
+func DegradationSMs(sms ...int) Axis {
+	vs := make([]float64, len(sms))
+	for i, n := range sms {
+		vs[i] = float64(n)
+	}
+	return Axis{Kind: AxisDegradation, Values: vs}
+}
+
 // validate checks the axis's value ranges. Variant-dependent constraints
 // (an over-subscription axis needs a context pool to rescale, a rate axis
 // an arrival process) are checked during expansion, where the variant can
@@ -259,6 +290,14 @@ func (a Axis) validate(spec string) error {
 		case AxisJitterMS, AxisWorkVar:
 			if !(v >= 0) {
 				bad = "must be non-negative"
+			}
+		case AxisFaultRate:
+			if !(v >= 0 && v <= 1) {
+				bad = "must be a probability in [0,1]"
+			}
+		case AxisDegradation:
+			if v != math.Trunc(v) || v < 1 {
+				bad = "must be an integer SM count >= 1"
 			}
 		default:
 			bad = "unknown axis kind"
@@ -314,6 +353,7 @@ func (s *Spec) Clone() *Spec {
 	for i, v := range s.Variants {
 		c.Variants[i] = v
 		c.Variants[i].ContextSMs = append([]int(nil), v.ContextSMs...)
+		c.Variants[i].Faults = v.Faults.Clone()
 	}
 	c.Axes = make([]Axis, len(s.Axes))
 	for i, a := range s.Axes {
@@ -516,6 +556,28 @@ func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
 			return fmt.Errorf("%s axis needs an arrival process on the variant (set RunConfig.Arrival or add an arrival axis)", a.Kind)
 		}
 		cfg.Arrival = cfg.Arrival.Scale(v)
+	case AxisFaultRate:
+		// cfg is a shallow copy of the variant template, so the Faults
+		// pointer aliases it (and every other grid cell): deep-copy
+		// before writing the cell's probability.
+		fc := cfg.Faults.Clone()
+		if fc == nil {
+			fc = &fault.Config{}
+		}
+		if fc.Transient == nil {
+			fc.Transient = &fault.Transient{}
+		}
+		fc.Transient.Prob = v
+		cfg.Faults = fc
+	case AxisDegradation:
+		if cfg.Faults == nil || len(cfg.Faults.Degradation) == 0 {
+			return fmt.Errorf("%s axis needs degradation windows on the variant (set RunConfig.Faults.Degradation)", a.Kind)
+		}
+		fc := cfg.Faults.Clone()
+		for i := range fc.Degradation {
+			fc.Degradation[i].SMs = int(v)
+		}
+		cfg.Faults = fc
 	default:
 		return fmt.Errorf("cannot apply %s axis", a.Kind)
 	}

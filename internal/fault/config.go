@@ -1,0 +1,186 @@
+// Package fault is the seeded, deterministic fault-injection layer
+// (DESIGN.md §13). It threads three injector families through the gpu stack:
+// WCET overruns (per-kernel work inflation applied at launch, so rates and
+// the waterfill see the true inflated demand), transient kernel faults (a
+// running kernel is aborted mid-flight and the scheduler's recovery policy —
+// retry, skip-job, or kill-chain — reconciles), and SM degradation windows
+// (device capacity drops to K SMs over [t0, t1), forcing every scheduler to
+// recompute shares against the shrunk device).
+//
+// Every draw comes from a dedicated RNG stream forked from the fault seed:
+// enabling faults never perturbs the workload generator's or the device's
+// jitter cursors, so a faulted run differs from its clean twin only by the
+// faults themselves. A nil *Config disables the layer entirely and is
+// bit-identical to a build without it.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"sgprs/internal/rt"
+)
+
+// Overrun model names.
+const (
+	// OverrunConstant inflates every kernel's work by Factor.
+	OverrunConstant = "constant"
+	// OverrunHeavyTail draws a Pareto(Alpha) factor per kernel, capped at
+	// Factor — most kernels barely overrun, a heavy tail overruns badly.
+	OverrunHeavyTail = "heavy-tail"
+	// OverrunSpike inflates every Every-th frame of each task by Factor —
+	// the periodic "hard frame" (keyframe, scene cut) pattern.
+	OverrunSpike = "spike"
+)
+
+// Overrun configures WCET-overrun injection: how per-kernel execution demand
+// is inflated beyond the profiled nominal at launch.
+type Overrun struct {
+	// Model selects the inflation shape: OverrunConstant,
+	// OverrunHeavyTail, or OverrunSpike.
+	Model string `json:"model"`
+	// Factor is the inflation multiplier (constant, spike) or the cap on
+	// the heavy-tailed draw. Must be at least 1; 1 disables inflation.
+	Factor float64 `json:"factor"`
+	// Alpha is the Pareto shape of the heavy-tailed draw (default 3;
+	// smaller = heavier tail). Ignored by the other models.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Every is the spike cadence in frames (default 10). Ignored by the
+	// other models.
+	Every int `json:"every,omitempty"`
+}
+
+// Transient configures mid-flight kernel faults and the run-level recovery
+// defaults tasks fall back to when their own rt.RecoveryPolicy is unset.
+type Transient struct {
+	// Prob is the per-kernel-launch fault probability in [0, 1].
+	Prob float64 `json:"prob"`
+	// Policy is the default recovery policy name ("retry", "skip-job",
+	// "kill-chain"); empty means retry.
+	Policy string `json:"policy,omitempty"`
+	// MaxRetries is the default per-job retry budget (default 1).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// BackoffMS delays a retry's re-submission (default 0: immediate).
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
+}
+
+// Window is one SM-degradation interval: the device runs at SMs effective
+// capacity over [StartSec, EndSec).
+type Window struct {
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+	SMs      int     `json:"sms"`
+}
+
+// Config is the fault-injection configuration of one run. The zero value
+// (all families nil/empty) installs the injection hook but injects nothing —
+// useful for pinning hook placement as bit-identical to no hook at all. A
+// nil *Config skips the layer entirely.
+type Config struct {
+	// Seed feeds the dedicated fault RNG streams; 0 derives one from the
+	// run seed, so sweeps decorrelate automatically.
+	Seed uint64 `json:"seed,omitempty"`
+	// Overrun, when non-nil, enables WCET-overrun injection.
+	Overrun *Overrun `json:"overrun,omitempty"`
+	// Transient, when non-nil with Prob > 0, enables transient kernel
+	// faults.
+	Transient *Transient `json:"transient,omitempty"`
+	// Degradation lists SM-degradation windows; they must be sorted and
+	// non-overlapping.
+	Degradation []Window `json:"degradation,omitempty"`
+}
+
+// Validate reports whether the configuration is usable. It never mutates the
+// receiver: a Config may be shared across experiment cells, so defaults are
+// resolved at injection time instead of being written back.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if o := c.Overrun; o != nil {
+		switch o.Model {
+		case OverrunConstant, OverrunHeavyTail, OverrunSpike:
+		default:
+			return fmt.Errorf("fault: unknown overrun model %q (want %s, %s, or %s)",
+				o.Model, OverrunConstant, OverrunHeavyTail, OverrunSpike)
+		}
+		if o.Factor < 1 {
+			return fmt.Errorf("fault: overrun factor %v must be at least 1", o.Factor)
+		}
+		if o.Alpha < 0 {
+			return fmt.Errorf("fault: overrun alpha %v must be non-negative", o.Alpha)
+		}
+		if o.Every < 0 {
+			return fmt.Errorf("fault: overrun cadence %d must be non-negative", o.Every)
+		}
+	}
+	if t := c.Transient; t != nil {
+		if t.Prob < 0 || t.Prob > 1 {
+			return fmt.Errorf("fault: transient probability %v outside [0, 1]", t.Prob)
+		}
+		if _, err := rt.ParseRecoveryPolicy(t.Policy); err != nil {
+			return err
+		}
+		if t.MaxRetries < 0 {
+			return fmt.Errorf("fault: retry budget %d must be non-negative", t.MaxRetries)
+		}
+		if t.BackoffMS < 0 {
+			return fmt.Errorf("fault: retry backoff %v ms must be non-negative", t.BackoffMS)
+		}
+	}
+	if !sort.SliceIsSorted(c.Degradation, func(i, j int) bool {
+		return c.Degradation[i].StartSec < c.Degradation[j].StartSec
+	}) {
+		return fmt.Errorf("fault: degradation windows must be sorted by start")
+	}
+	for i, w := range c.Degradation {
+		if w.SMs < 1 {
+			return fmt.Errorf("fault: degradation window %d SM count %d must be positive", i, w.SMs)
+		}
+		if w.StartSec < 0 || w.EndSec <= w.StartSec {
+			return fmt.Errorf("fault: degradation window %d [%v, %v) is not a forward interval", i, w.StartSec, w.EndSec)
+		}
+		if i > 0 && w.StartSec < c.Degradation[i-1].EndSec {
+			return fmt.Errorf("fault: degradation windows %d and %d overlap", i-1, i)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the configuration (nil-safe). Experiment axes mutate
+// per-cell copies; the variant's own Config must stay pristine.
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return nil
+	}
+	out := &Config{Seed: c.Seed}
+	if c.Overrun != nil {
+		o := *c.Overrun
+		out.Overrun = &o
+	}
+	if c.Transient != nil {
+		t := *c.Transient
+		out.Transient = &t
+	}
+	if len(c.Degradation) > 0 {
+		out.Degradation = append([]Window(nil), c.Degradation...)
+	}
+	return out
+}
+
+// Stats is the injector's fault accounting, merged into the run summary.
+type Stats struct {
+	// Overruns counts kernels whose work was inflated; OverrunMassMS is
+	// the total extra single-SM milliseconds injected.
+	Overruns      int
+	OverrunMassMS float64
+	// TransientFaults counts kernels aborted mid-flight. Retries,
+	// SkippedJobs, and KilledChains partition the recovery decisions
+	// taken; Recoveries counts jobs that completed despite at least one
+	// retried fault.
+	TransientFaults int
+	Retries         int
+	Recoveries      int
+	SkippedJobs     int
+	KilledChains    int
+}

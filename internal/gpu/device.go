@@ -116,6 +116,21 @@ type Device struct {
 	running    []*Kernel
 	lastUpdate des.Time
 	observer   Observer
+	hook       Hook
+
+	// effSMs is the device capacity every dynamic-rate computation divides
+	// by — DemandRatio, the over-subscription ratio, and the waterfill
+	// budget. It equals cfg.TotalSMs except inside an SM-degradation
+	// window (fault injection), when SetEffectiveSMs lowers it. Static
+	// quantities — context creation bounds, Utilization's denominator,
+	// fingerprint encoding — stay on the nominal cfg.TotalSMs: degraded
+	// runs are ineligible for fast-forward, and utilisation against
+	// nominal capacity is what a fleet operator reads.
+	effSMs int
+
+	// kernelSeq numbers kernel launches device-wide; start stamps it onto
+	// the launching kernel (Kernel.LaunchSeq).
+	kernelSeq uint64
 
 	// Per-context scratch buffers reused across recompute/waterfill calls
 	// (indexed by context ID). recompute runs on every running-set change
@@ -183,6 +198,7 @@ func NewDevice(eng *des.Engine, model *speedup.Model, cfg Config) (*Device, erro
 		rng:        deviceRNG(cfg.Seed),
 		ceilingQ:   quantizeCeiling(cfg.AggregateGainCap),
 		shapeValid: true,
+		effSMs:     cfg.TotalSMs,
 	}, nil
 }
 
@@ -204,6 +220,9 @@ func (d *Device) Reset(cfg Config) error {
 	d.running = d.running[:0]
 	d.lastUpdate = 0
 	d.observer = nil
+	d.hook = nil
+	d.effSMs = cfg.TotalSMs
+	d.kernelSeq = 0
 	d.busyDemand = 0
 	d.gainBoundQ = 0
 	d.ceilingQ = quantizeCeiling(cfg.AggregateGainCap)
@@ -234,6 +253,28 @@ type Observer interface {
 
 // SetObserver installs the lifecycle observer (nil to remove).
 func (d *Device) SetObserver(o Observer) { d.observer = o }
+
+// Hook intercepts kernel lifecycle transitions for fault injection. Unlike
+// Observer it runs at precisely placed points and is allowed to mutate the
+// kernel it receives:
+//
+//   - KernelLaunched fires after the launch's admission bookkeeping but
+//     before the device recomputes rates, so work inflated there
+//     (Kernel.InflateWork) flows into the very first rate assignment,
+//     the waterfill, and the aggregate ceiling;
+//   - KernelRetired fires after a completion's bookkeeping and recompute,
+//     before OnDone (which may Reset and reuse the kernel).
+//
+// A Hook is deliberately a separate interface from Observer: HasObserver
+// gates diagnostic label formatting, and installing a fault hook must not
+// flip that gate.
+type Hook interface {
+	KernelLaunched(k *Kernel, now des.Time)
+	KernelRetired(k *Kernel, now des.Time)
+}
+
+// SetHook installs the fault-injection hook (nil to remove).
+func (d *Device) SetHook(h Hook) { d.hook = h }
 
 // HasObserver reports whether a lifecycle observer is installed. Schedulers
 // use it to skip building per-kernel label strings nobody will read — label
@@ -292,7 +333,30 @@ func (d *Device) CreateContext(name string, sms int) (*Context, error) {
 // the device's SM count. Values above 1 mean the device is over-subscribed at
 // this instant.
 func (d *Device) DemandRatio() float64 {
-	return float64(d.busyDemand) / float64(d.cfg.TotalSMs)
+	return float64(d.busyDemand) / float64(d.effSMs)
+}
+
+// EffectiveSMs reports the capacity dynamic-rate computations currently
+// divide by — cfg.TotalSMs outside SM-degradation windows.
+func (d *Device) EffectiveSMs() int { return d.effSMs }
+
+// SetEffectiveSMs changes the device's effective capacity at time now — the
+// SM-degradation injection point. Every running kernel's progress is banked
+// at the old rates, then a full recompute re-derives shares, contention, and
+// the waterfill against the new capacity, so both schedulers immediately see
+// the shrunk (or restored) device. n must be in [1, cfg.TotalSMs]: the model
+// degrades the configured device, it never grows it.
+func (d *Device) SetEffectiveSMs(n int, now des.Time) error {
+	if n < 1 || n > d.cfg.TotalSMs {
+		return fmt.Errorf("gpu: effective SMs %d outside [1, %d]", n, d.cfg.TotalSMs)
+	}
+	if n == d.effSMs {
+		return nil
+	}
+	d.advance(now)
+	d.effSMs = n
+	d.fullRecompute(now)
+	return nil
 }
 
 // RecomputeStats reports how many running-set transitions took the

@@ -79,6 +79,8 @@ func (d *Device) start(k *Kernel, now des.Time) {
 	d.advance(now)
 	k.started = true
 	k.startedAt = now
+	d.kernelSeq++
+	k.launchSeq = d.kernelSeq
 	k.jitterU = d.rng.Float64()
 	ctx := k.stream.ctx
 	if ctx.activeKernels == 0 {
@@ -96,6 +98,11 @@ func (d *Device) start(k *Kernel, now des.Time) {
 	}
 	if k.OnBegin != nil {
 		k.OnBegin(k, now)
+	}
+	// The fault hook runs last before rates are derived: work it inflates
+	// (WCET overruns) flows into this launch's very first rate assignment.
+	if d.hook != nil {
+		d.hook.KernelLaunched(k, now)
 	}
 	d.recompute(now, ctx)
 }
@@ -170,7 +177,7 @@ func (d *Device) advance(now des.Time) {
 // written while refreshing the touched context are safe: fullRecompute
 // overwrites every kernel from scratch.
 func (d *Device) recompute(now des.Time, touched *Context) {
-	if d.cfg.DisableIncremental || !d.shapeValid || d.busyDemand > d.cfg.TotalSMs {
+	if d.cfg.DisableIncremental || !d.shapeValid || d.busyDemand > d.effSMs {
 		d.fullRecompute(now)
 		return
 	}
@@ -256,7 +263,7 @@ func (d *Device) recompute(now des.Time, touched *Context) {
 // fast-path transitions preceded them.
 func (d *Device) fullRecompute(now des.Time) {
 	d.fullRecomputes++
-	ratio := float64(d.busyDemand) / float64(d.cfg.TotalSMs)
+	ratio := float64(d.busyDemand) / float64(d.effSMs)
 
 	// SM allocation per context by two-level waterfilling: the device's
 	// SMs go to busy contexts in proportion to their active kernel
@@ -454,7 +461,7 @@ func (d *Device) waterfill() []float64 {
 			demand += ctx.sms
 		}
 	}
-	if demand <= d.cfg.TotalSMs {
+	if demand <= d.effSMs {
 		for _, ctx := range d.contexts {
 			if ctx.weightSum > 0 {
 				alloc[ctx.id] = float64(ctx.sms)
@@ -470,7 +477,7 @@ func (d *Device) waterfill() []float64 {
 		capped = capped[:len(d.contexts)]
 		clear(capped)
 	}
-	remaining := float64(d.cfg.TotalSMs)
+	remaining := float64(d.effSMs)
 	for {
 		var openWeight float64
 		for _, ctx := range d.contexts {
@@ -503,7 +510,7 @@ func (d *Device) waterfill() []float64 {
 			return alloc
 		}
 		// Recompute the pot after removing capped contexts.
-		remaining = float64(d.cfg.TotalSMs)
+		remaining = float64(d.effSMs)
 		for _, ctx := range d.contexts {
 			if capped[ctx.id] {
 				remaining -= float64(ctx.sms)
@@ -555,11 +562,63 @@ func (d *Device) complete(k *Kernel, now des.Time) {
 	if k.OnComplete != nil {
 		k.OnComplete(now)
 	}
+	// The fault hook must see the kernel before OnDone can Reset it.
+	if d.hook != nil {
+		d.hook.KernelRetired(k, now)
+	}
 	// OnDone runs last and hands ownership back to the scheduler: the
 	// kernel may be reset and reused before it returns, so no field of k
 	// is read past this point.
 	if k.OnDone != nil {
 		k.OnDone(k, now)
 	}
+	d.pump(s)
+}
+
+// Abort removes a running kernel from the device mid-flight — the transient
+// kernel-fault injection point. Progress up to now is banked (the work was
+// genuinely executed before the fault), then the kernel is evicted exactly as
+// complete would evict it — running-set removal, finish-event recycling,
+// context aggregates, rate recompute, stream pump — except that no completion
+// accounting or lifecycle callback fires: the fault injector drives recovery
+// explicitly through the scheduler. On return the kernel is detached
+// (Stream() == nil) with its partial remainders intact, so a recovery policy
+// may Submit it again (a fresh run from scratch: Submit re-derives the
+// remainders) or Reset it for the free list. Aborting a kernel that is not
+// running is a programming error and panics.
+func (d *Device) Abort(k *Kernel, now des.Time) {
+	if !k.started {
+		panic(fmt.Sprintf("gpu: abort of non-running kernel %q", k.Label))
+	}
+	d.advance(now)
+	for i, r := range d.running {
+		if r == k {
+			d.running = append(d.running[:i], d.running[i+1:]...)
+			break
+		}
+	}
+	ctx := k.stream.ctx
+	for i, r := range ctx.running {
+		if r == k {
+			ctx.running = append(ctx.running[:i], ctx.running[i+1:]...)
+			break
+		}
+	}
+	k.started = false
+	// Unlike complete, the finish event is still pending: Recycle removes
+	// it from the queue before pooling it.
+	if k.finishEv != nil {
+		d.eng.Recycle(k.finishEv)
+		k.finishEv = nil
+	}
+	ctx.activeKernels--
+	if ctx.activeKernels == 0 {
+		d.busyDemand -= ctx.sms
+	}
+	ctx.weightSum -= k.stream.priority.weight()
+	s := k.stream
+	s.running = nil
+	k.stream = nil
+	d.recompute(now, ctx)
 	d.pump(s)
 }

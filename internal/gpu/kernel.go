@@ -49,6 +49,13 @@ type Kernel struct {
 	started        bool
 	finishEv       *des.Event
 	startedAt      des.Time
+	// launchSeq is the device-wide launch sequence number assigned each
+	// time the kernel starts executing. Fault-injection events captured
+	// against one launch compare it (together with Running) at fire time:
+	// kernels recycle through scheduler free lists, so a retained pointer
+	// alone cannot tell "still the launch I armed against" from "a later
+	// launch reusing the same struct".
+	launchSeq uint64
 
 	// Closed-form aggregate-gain coefficients, precomputed on first use.
 	// The composed gain is a weighted harmonic mean over saturating
@@ -149,6 +156,24 @@ func (k *Kernel) Reset() {
 
 // Running reports whether the kernel is currently executing.
 func (k *Kernel) Running() bool { return k.started }
+
+// LaunchSeq reports the device-wide sequence number of the kernel's current
+// (or most recent) launch — zero before the first start. See launchSeq.
+func (k *Kernel) LaunchSeq() uint64 { return k.launchSeq }
+
+// InflateWork multiplies the kernel's remaining scalable work by factor — the
+// WCET-overrun injection point — and returns the extra single-SM milliseconds
+// injected. It is only meaningful between Submit and the rate recompute of
+// the launch (the gpu.Hook's KernelLaunched callback sits exactly there);
+// factors at or below 1 are ignored so a disabled overrun model is a no-op.
+func (k *Kernel) InflateWork(factor float64) float64 {
+	if factor <= 1 {
+		return 0
+	}
+	extra := k.remainingWork * (factor - 1)
+	k.remainingWork += extra
+	return extra
+}
 
 // StartedAt reports when execution began (zero until started).
 func (k *Kernel) StartedAt() des.Time { return k.startedAt }

@@ -66,6 +66,16 @@ type Collector struct {
 	// the BacklogSlot indexing.
 	depthStarts, depthEnds []des.Time
 
+	// Degraded-window attribution (fault injection, DESIGN.md §13): the
+	// injector toggles degraded at each SM-degradation window edge, and
+	// every in-window released job records the flag in degFlags — parallel
+	// to resp — so completions can be judged against the degraded subset.
+	degraded             bool
+	degFlags             []bool
+	degReleased          int
+	degCompletedReleased int
+	degLateCompleted     int
+
 	// Fast-forward measurement-cycle recording (ff.go): while recording,
 	// every lifecycle call appends an op so Replay can re-apply the cycle's
 	// metric writes over extrapolated cycles.
@@ -99,7 +109,15 @@ func (c *Collector) Reset(warmUp, horizon des.Time) {
 	c.ends = c.ends[:0]
 	c.recording = false
 	c.recOps = c.recOps[:0]
+	c.degraded = false
+	c.degFlags = c.degFlags[:0]
+	c.degReleased, c.degCompletedReleased, c.degLateCompleted = 0, 0, 0
 }
+
+// SetDegraded flips the degraded-capacity flag; the fault injector calls it
+// at each SM-degradation window edge. Releases while the flag is on are
+// attributed to the degraded subset of the deadline accounting.
+func (c *Collector) SetDegraded(on bool) { c.degraded = on }
 
 // SetSLO configures the response-time objective, milliseconds (0 = none),
 // matching EvaluateSLO's parameter. Call after Reset, before the run.
@@ -120,6 +138,10 @@ func (c *Collector) JobReleased(j *rt.Job, now des.Time) {
 		j.MetricsSlot = len(c.resp)
 		c.released++
 		c.resp = append(c.resp, math.NaN())
+		c.degFlags = append(c.degFlags, c.degraded)
+		if c.degraded {
+			c.degReleased++
+		}
 	}
 	if c.recording {
 		c.recordRelease(j)
@@ -144,6 +166,15 @@ func (c *Collector) JobDone(j *rt.Job, now des.Time) {
 			c.lateCompleted++
 		}
 		c.resp[j.MetricsSlot] = j.ResponseTime().Milliseconds()
+		// Slots appended by fast-forward Replay have no degFlags entry:
+		// fault-injected runs are FF-ineligible, so a replayed slot is
+		// never degraded and treating it as false is exact.
+		if j.MetricsSlot < len(c.degFlags) && c.degFlags[j.MetricsSlot] {
+			c.degCompletedReleased++
+			if now > j.Deadline {
+				c.degLateCompleted++
+			}
+		}
 	}
 	if c.recording {
 		c.recordDone(j, now, inWin)
@@ -177,6 +208,13 @@ func (c *Collector) Summary() Summary {
 		Completed: c.completed,
 		Missed:    c.lateCompleted + (c.released - c.completedReleased),
 		Dropped:   c.dropped,
+	}
+	// Degraded-subset deadline accounting, derived exactly like Missed:
+	// a degraded release either completed (lateness decided then) or not.
+	s.Faults.DegradedReleased = c.degReleased
+	s.Faults.DegradedMissed = c.degLateCompleted + (c.degReleased - c.degCompletedReleased)
+	if c.degReleased > 0 {
+		s.Faults.DegradedDMR = float64(s.Faults.DegradedMissed) / float64(c.degReleased)
 	}
 	// Compact the slots in release order — Evaluate's iteration order —
 	// and count SLO hits over the identical float comparisons.

@@ -58,6 +58,36 @@ type Summary struct {
 	// completed within it.
 	SLOMS      float64
 	SLOHitRate float64
+
+	// Faults is the fault-injection accounting (DESIGN.md §13): all-zero
+	// unless the run configured sim.RunConfig.Faults. The batch Evaluate
+	// path never fills it — fault injection is a streaming-only feature —
+	// so the streaming-equivalence invariant is untouched.
+	Faults FaultStats
+}
+
+// FaultStats aggregates what the fault-injection layer did to a run: the
+// injector fills the injection counters, the collector the degraded-window
+// deadline accounting.
+type FaultStats struct {
+	// Overruns counts kernels whose work was inflated; OverrunMassMS is
+	// the extra single-SM milliseconds injected in total.
+	Overruns      int
+	OverrunMassMS float64
+	// TransientFaults counts kernels aborted mid-flight; Retries,
+	// SkippedJobs, and KilledChains partition the recovery decisions, and
+	// Recoveries counts jobs completing despite at least one retry.
+	TransientFaults int
+	Retries         int
+	Recoveries      int
+	SkippedJobs     int
+	KilledChains    int
+	// DegradedReleased counts in-window released jobs that arrived inside
+	// an SM-degradation window; DegradedMissed and DegradedDMR judge
+	// deadline misses over exactly that subset — the degraded-time DMR.
+	DegradedReleased int
+	DegradedMissed   int
+	DegradedDMR      float64
 }
 
 // String renders a one-line summary.

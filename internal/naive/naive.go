@@ -25,6 +25,7 @@ import (
 	"sgprs/internal/des"
 	"sgprs/internal/gpu"
 	"sgprs/internal/rt"
+	"sgprs/internal/sched"
 	"sgprs/internal/speedup"
 )
 
@@ -191,6 +192,33 @@ func (s *Scheduler) getKernel() *gpu.Kernel {
 		return k
 	}
 	return &gpu.Kernel{}
+}
+
+// RecoverKernel implements sched.FaultHandler: the fault injector has
+// aborted one of this scheduler's whole-inference kernels mid-flight and
+// hands it back with the resolved recovery decision. A retry re-submits the
+// very same kernel — Submit re-derives the remainders from Shares and
+// FixedMS, so the inference restarts from scratch (including its fixed
+// synchronisation cost) at the back of the partition FIFO. Skip-job and
+// kill-chain coincide here: the baseline's only backlog is the partition
+// FIFO, which a static partitioner cannot retract entries from — precisely
+// the inflexibility the comparison is about.
+func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sched.RecoveryAction, backoff des.Time, now des.Time) {
+	job := k.Arg.(*rt.Job)
+	switch action {
+	case sched.ActionRetry:
+		if backoff <= 0 {
+			stream.Submit(k)
+		} else {
+			s.eng.AfterFunc(backoff, "naive.retry", func(now des.Time) {
+				stream.Submit(k)
+			})
+		}
+	default:
+		k.Reset()
+		s.kernelPool = append(s.kernelPool, k)
+		job.Discard(now)
+	}
 }
 
 // kernelBegin is the shared start callback: the whole inference begins

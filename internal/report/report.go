@@ -96,12 +96,15 @@ type Scenario struct {
 // actually skipped cycles, so closed-loop output keeps its classic shape.
 func (s *Scenario) metricTables() []string {
 	tables := []string{"total FPS", "DMR", "p99 ms"}
-	dropped, slo, ff := false, false, false
+	dropped, slo, ff, faults, degraded := false, false, false, false, false
 	for _, name := range s.Order {
 		for _, p := range s.Series[name] {
 			dropped = dropped || p.Summary.Dropped > 0
 			slo = slo || p.Summary.SLOMS > 0
 			ff = ff || p.FastForward.CyclesSkipped > 0
+			f := p.Summary.Faults
+			faults = faults || f.Overruns > 0 || f.TransientFaults > 0
+			degraded = degraded || f.DegradedReleased > 0
 		}
 	}
 	if dropped {
@@ -112,6 +115,12 @@ func (s *Scenario) metricTables() []string {
 	}
 	if ff {
 		tables = append(tables, "ff cycles (detected/skipped)")
+	}
+	if faults {
+		tables = append(tables, "faults (overruns/transients/recovered)")
+	}
+	if degraded {
+		tables = append(tables, "degraded DMR")
 	}
 	return tables
 }
@@ -157,6 +166,11 @@ func (s *Scenario) WriteText(w io.Writer) error {
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.SLOHitRate)
 				case metric == "ff cycles (detected/skipped)":
 					fmt.Fprintf(tw, "\t%d/%d", p.FastForward.CyclesDetected, p.FastForward.CyclesSkipped)
+				case metric == "faults (overruns/transients/recovered)":
+					f := p.Summary.Faults
+					fmt.Fprintf(tw, "\t%d/%d/%d", f.Overruns, f.TransientFaults, f.Recoveries)
+				case metric == "degraded DMR":
+					fmt.Fprintf(tw, "\t%.3f", p.Summary.Faults.DegradedDMR)
 				default:
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.DMR)
 				}
@@ -186,16 +200,20 @@ func (s *Scenario) WriteText(w io.Writer) error {
 
 // WriteCSV renders the dataset as long-form CSV: variant,tasks,fps,dmr,
 // released,completed,missed plus the open-loop columns (dropped,drop_rate,
-// p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate) and the steady-state
-// fast-forward counters (ff_cycles_detected,ff_cycles_skipped) — zero for
-// closed-loop or ineligible runs, so the schema is stable across traffic
-// models.
+// p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate), the steady-state
+// fast-forward counters (ff_cycles_detected,ff_cycles_skipped), and the
+// fault-injection accounting (overruns,overrun_mass_ms,transient_faults,
+// retries,recoveries,skipped_jobs,killed_chains,degraded_released,
+// degraded_missed,degraded_dmr) — zero for closed-loop, ineligible, or
+// fault-free runs, so the schema is stable across traffic and fault models.
 func (s *Scenario) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"variant", "tasks", "fps", "dmr", "released", "completed", "missed",
 		"dropped", "drop_rate", "p99_ms", "p999_ms", "queue_max", "queue_mean", "slo_hit_rate",
 		"ff_cycles_detected", "ff_cycles_skipped",
+		"overruns", "overrun_mass_ms", "transient_faults", "retries", "recoveries",
+		"skipped_jobs", "killed_chains", "degraded_released", "degraded_missed", "degraded_dmr",
 	}); err != nil {
 		return err
 	}
@@ -218,6 +236,16 @@ func (s *Scenario) WriteCSV(w io.Writer) error {
 				strconv.FormatFloat(p.Summary.SLOHitRate, 'f', 4, 64),
 				strconv.FormatUint(p.FastForward.CyclesDetected, 10),
 				strconv.FormatUint(p.FastForward.CyclesSkipped, 10),
+				strconv.Itoa(p.Summary.Faults.Overruns),
+				strconv.FormatFloat(p.Summary.Faults.OverrunMassMS, 'f', 2, 64),
+				strconv.Itoa(p.Summary.Faults.TransientFaults),
+				strconv.Itoa(p.Summary.Faults.Retries),
+				strconv.Itoa(p.Summary.Faults.Recoveries),
+				strconv.Itoa(p.Summary.Faults.SkippedJobs),
+				strconv.Itoa(p.Summary.Faults.KilledChains),
+				strconv.Itoa(p.Summary.Faults.DegradedReleased),
+				strconv.Itoa(p.Summary.Faults.DegradedMissed),
+				strconv.FormatFloat(p.Summary.Faults.DegradedDMR, 'f', 4, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -190,7 +190,9 @@ func TestScenarioCSV(t *testing.T) {
 	}
 	if lines[0] != "variant,tasks,fps,dmr,released,completed,missed,"+
 		"dropped,drop_rate,p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate,"+
-		"ff_cycles_detected,ff_cycles_skipped" {
+		"ff_cycles_detected,ff_cycles_skipped,"+
+		"overruns,overrun_mass_ms,transient_faults,retries,recoveries,"+
+		"skipped_jobs,killed_chains,degraded_released,degraded_missed,degraded_dmr" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "naive,10,300.0,") {

@@ -26,6 +26,11 @@ type Job struct {
 	FinishedAt des.Time
 	Done       bool
 
+	// Retries counts how many times a stage of this job was re-executed
+	// after an injected transient fault (RecoverRetry); the fault injector
+	// owns it. A job that completes with Retries > 0 is a recovery.
+	Retries int
+
 	// Discarded marks a job the scheduler permanently abandoned (a
 	// dropped or replaced frame), with the instant Discard recorded.
 	// The batch metrics path reads these fields off retained jobs where

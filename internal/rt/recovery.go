@@ -1,0 +1,57 @@
+package rt
+
+import "fmt"
+
+// RecoveryPolicy selects what a scheduler does with a job whose kernel
+// suffered a transient fault mid-flight (the fault-injection layer,
+// DESIGN.md §13). The policy is per-task: a safety-critical perception task
+// may retry while a best-effort preview task skips the frame.
+type RecoveryPolicy int
+
+const (
+	// RecoverDefault defers to the run-level default in the fault
+	// configuration (which itself defaults to RecoverRetry).
+	RecoverDefault RecoveryPolicy = iota
+	// RecoverRetry re-executes the faulted stage from scratch, up to the
+	// task's retry budget per job; an exhausted budget falls back to
+	// RecoverSkipJob.
+	RecoverRetry
+	// RecoverSkipJob discards the faulted frame and moves on.
+	RecoverSkipJob
+	// RecoverKillChain discards the faulted frame and the task's held
+	// backlog — the load-shedding response.
+	RecoverKillChain
+)
+
+// String names the policy for reports and config round-trips.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverDefault:
+		return "default"
+	case RecoverRetry:
+		return "retry"
+	case RecoverSkipJob:
+		return "skip-job"
+	case RecoverKillChain:
+		return "kill-chain"
+	default:
+		return fmt.Sprintf("recovery(%d)", int(p))
+	}
+}
+
+// ParseRecoveryPolicy resolves the config-file spelling of a policy; the
+// empty string means RecoverDefault.
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
+	switch s {
+	case "", "default":
+		return RecoverDefault, nil
+	case "retry":
+		return RecoverRetry, nil
+	case "skip-job", "skip":
+		return RecoverSkipJob, nil
+	case "kill-chain", "kill":
+		return RecoverKillChain, nil
+	default:
+		return RecoverDefault, fmt.Errorf("rt: unknown recovery policy %q (want retry, skip-job, or kill-chain)", s)
+	}
+}

@@ -56,6 +56,15 @@ type Task struct {
 	ReleaseJitter des.Time
 	WorkVariation float64
 
+	// Recovery selects how a scheduler reacts when one of this task's
+	// kernels suffers an injected transient fault; RecoverDefault defers
+	// to the run-level fault configuration. MaxRetries bounds
+	// RecoverRetry's re-executions per job (0 = use the run-level
+	// default). Like the fields above these are filled from the workload
+	// TaskSpec and are inert unless the run injects faults.
+	Recovery   RecoveryPolicy
+	MaxRetries int
+
 	// Offline-measured timing (filled by the profiler).
 	wcet       []des.Time // per-stage WCET Cᵢʲ
 	totalWCET  des.Time   // task WCET Cᵢ

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -212,8 +213,14 @@ func Run(ctx context.Context, jobs []Job, opt Options) []JobResult {
 				// already past this point drain to completion.
 				if cerr := ctx.Err(); cerr != nil {
 					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: cerr}
-				} else if res, err := sess.Run(jobs[i].Config); err != nil {
+				} else if res, ok, err := runJob(sess, jobs[i].Config); err != nil {
 					r.Err = JobError{Variant: jobs[i].Variant, Tasks: jobs[i].Tasks, Err: err}
+					if !ok {
+						// A panic leaves the session's engine, device,
+						// and collector in unknown state; reusing it
+						// could corrupt every later job on this worker.
+						sess = sim.NewSession(cache)
+					}
 				} else {
 					r.Result = res
 				}
@@ -229,6 +236,24 @@ func Run(ctx context.Context, jobs []Job, opt Options) []JobResult {
 	}
 	wg.Wait()
 	return results
+}
+
+// runJob executes one job on the worker's session, converting a panic
+// anywhere inside the simulation (a buggy observer, a scheduler invariant
+// violation) into an ordinary per-job error carrying the stack — one bad job
+// must not tear down the pool or lose its finished siblings. The ok result
+// reports whether the session survived: false after a panic, telling the
+// caller to discard it.
+func runJob(sess *sim.Session, cfg sim.RunConfig) (res sim.Result, ok bool, err error) {
+	ok = true
+	defer func() {
+		if p := recover(); p != nil {
+			ok = false
+			err = fmt.Errorf("runner: run panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	res, err = sess.Run(cfg)
+	return res, ok, err
 }
 
 // Err collects the failures of a result set into an Errors value, or nil

@@ -22,3 +22,32 @@ type Scheduler interface {
 	// OnRelease hands the scheduler a newly released job.
 	OnRelease(job *rt.Job, now des.Time)
 }
+
+// RecoveryAction is the fault injector's resolved decision for one transient
+// kernel fault — the task's rt.RecoveryPolicy after applying run-level
+// defaults and the retry budget (an exhausted budget downgrades retry to
+// skip). See DESIGN.md §13.
+type RecoveryAction int
+
+const (
+	// ActionRetry re-executes the faulted stage from scratch after the
+	// configured backoff.
+	ActionRetry RecoveryAction = iota
+	// ActionSkipJob discards the faulted frame.
+	ActionSkipJob
+	// ActionKillChain discards the faulted frame and the task's held
+	// backlog.
+	ActionKillChain
+)
+
+// FaultHandler is the scheduler half of transient-fault recovery. The fault
+// injector aborts the kernel on the device (gpu.Device.Abort — the kernel is
+// already detached, bookkeeping unwound, rates recomputed) and then hands the
+// scheduler the orphaned kernel to reconcile its own state: queue occupancy,
+// in-flight windows, job lifecycle, and the freed stream. stream is the
+// stream the kernel was running on before the abort detached it. Schedulers
+// that support fault injection implement this; the injector refuses to run
+// against one that does not.
+type FaultHandler interface {
+	RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action RecoveryAction, backoff des.Time, now des.Time)
+}

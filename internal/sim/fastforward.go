@@ -81,6 +81,7 @@ func (s *Session) runToHorizon(cfg RunConfig, scheduler sched.Scheduler, gen *wo
 	eligible := steady &&
 		!cfg.DisableFastForward &&
 		cfg.Observer == nil &&
+		cfg.Faults == nil &&
 		cfg.GPU.ContentionJitter == 0
 	switch v := scheduler.(type) {
 	case *core.Scheduler:

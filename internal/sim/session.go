@@ -3,11 +3,13 @@ package sim
 import (
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
+	"sgprs/internal/fault"
 	"sgprs/internal/gpu"
 	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
 	"sgprs/internal/profile"
 	"sgprs/internal/rt"
+	"sgprs/internal/sched"
 	"sgprs/internal/speedup"
 	"sgprs/internal/workload"
 )
@@ -166,6 +168,24 @@ func (s *Session) Run(cfg RunConfig) (Result, error) {
 	}
 	s.collector.SetSLO(cfg.SLOMS)
 
+	// Fault injection (DESIGN.md §13): the injector draws from a dedicated
+	// forked RNG stream, so installing it never perturbs the workload or
+	// contention-jitter cursors; with cfg.Faults nil none of this runs and
+	// the dynamics are bit-identical to the pre-fault code path.
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		handler, _ := scheduler.(sched.FaultHandler)
+		seed := cfg.Faults.Seed
+		if seed == 0 {
+			seed = cfg.Seed + 3
+		}
+		inj, err = fault.NewInjector(cfg.Faults, s.eng, s.dev, handler, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		inj.Install(s.collector)
+	}
+
 	gen := workload.NewGeneratorSeeded(s.eng, scheduler, cfg.Seed+2)
 	gen.SetSink(s.collector)
 	gen.UsePool(&s.pool)
@@ -174,6 +194,18 @@ func (s *Session) Run(cfg RunConfig) (Result, error) {
 	ff := s.runToHorizon(cfg, scheduler, gen, tasks, warmUp, horizon)
 
 	sum := s.collector.Summary()
+	if inj != nil {
+		// The collector filled the Degraded* fields of sum.Faults; the
+		// injection counters live in the injector.
+		st := inj.Stats()
+		sum.Faults.Overruns = st.Overruns
+		sum.Faults.OverrunMassMS = st.OverrunMassMS
+		sum.Faults.TransientFaults = st.TransientFaults
+		sum.Faults.Retries = st.Retries
+		sum.Faults.Recoveries = st.Recoveries
+		sum.Faults.SkippedJobs = st.SkippedJobs
+		sum.Faults.KilledChains = st.KilledChains
+	}
 	pm := gpu.DefaultPowerModel()
 	res := Result{
 		Name:              cfg.Name,

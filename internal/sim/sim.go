@@ -11,6 +11,7 @@ import (
 	"sgprs/internal/core"
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
+	"sgprs/internal/fault"
 	"sgprs/internal/gpu"
 	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
@@ -75,6 +76,14 @@ type RunConfig struct {
 	// when positive, Summary.SLOHitRate reports the fraction of released
 	// jobs completing within it.
 	SLOMS float64
+
+	// Faults configures the fault-injection layer (DESIGN.md §13): WCET
+	// overruns, transient kernel faults with recovery policies, and SM
+	// degradation windows. Nil keeps today's fault-free dynamics — pinned
+	// bit-identical by the sim fault-equivalence tests. Fault injection is
+	// streaming-only (Session.Run); runBatch rejects it. A fault-injected
+	// run is never eligible for steady-state fast-forward.
+	Faults *fault.Config
 
 	// Horizon and warm-up, simulated seconds.
 	HorizonSec, WarmUpSec float64
@@ -160,6 +169,11 @@ func (c *RunConfig) Normalize() error {
 	if c.Arrival != nil {
 		if err := c.Arrival.Validate(); err != nil {
 			return fmt.Errorf("sim: run %q arrival %s: %w", c.Name, c.Arrival.Name(), err)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: run %q faults: %w", c.Name, err)
 		}
 	}
 	if c.FPS == 0 {
@@ -253,6 +267,13 @@ func RunWith(cfg RunConfig, cache *memo.Cache) (Result, error) {
 func runBatch(cfg RunConfig, cache *memo.Cache) (Result, error) {
 	if err := cfg.Normalize(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Faults != nil {
+		// Fault injection needs the streaming collector (degraded-window
+		// attribution happens at release time); the batch reference path
+		// has no equivalent, so it refuses rather than silently dropping
+		// the configuration.
+		return Result{}, fmt.Errorf("sim: run %q: fault injection requires the streaming path", cfg.Name)
 	}
 	eng := des.NewEngine()
 	model := defaultModel()

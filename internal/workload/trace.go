@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +14,13 @@ import (
 
 	"sgprs/internal/des"
 )
+
+// maxTraceSec bounds a parseable release instant: seconds beyond it would
+// overflow the nanosecond clock in des.FromSeconds, and float-to-int
+// conversion of an out-of-range value is platform-defined — a corrupt row
+// could silently become a huge positive instant on one architecture and a
+// negative one on another. ~292 simulated years is not a schedulable time.
+const maxTraceSec = float64(math.MaxInt64) / float64(des.Second)
 
 // TraceData is a parsed release trace: one row per recorded arrival, in
 // non-decreasing time order. Tasks, when present, carries the recorded
@@ -110,7 +118,7 @@ func ParseTraceCSV(name string, r io.Reader) (*TraceData, error) {
 			return nil, fmt.Errorf("workload: trace %q row %d: %w", name, row, err)
 		}
 		sec, err := strconv.ParseFloat(strings.TrimSpace(rec[timeCol]), 64)
-		if err != nil || !finite(sec) || sec < 0 {
+		if err != nil || !finite(sec) || sec < 0 || sec > maxTraceSec {
 			return nil, fmt.Errorf("workload: trace %q row %d: bad time %q", name, row, rec[timeCol])
 		}
 		d.Times = append(d.Times, des.FromSeconds(sec))
@@ -152,7 +160,7 @@ func ParseTraceJSON(name string, r io.Reader) (*TraceData, error) {
 	}
 	d := &TraceData{Name: name, Tasks: tj.Tasks}
 	for i, sec := range tj.TimesS {
-		if !finite(sec) || sec < 0 {
+		if !finite(sec) || sec < 0 || sec > maxTraceSec {
 			return nil, fmt.Errorf("workload: trace %q row %d: bad time %v", name, i, sec)
 		}
 		d.Times = append(d.Times, des.FromSeconds(sec))

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceCSV drives the CSV trace parser with arbitrary input and
+// checks the contract both ways: it must never panic, and whenever it
+// accepts, the returned TraceData must satisfy every invariant the replay
+// layer relies on — times finite, non-negative, and non-decreasing; task ids
+// non-negative and parallel to the times. Accepting a trace that violates
+// these would surface as a panic (or silent corruption) deep inside a
+// simulation run instead of a line-numbered parse error.
+func FuzzParseTraceCSV(f *testing.F) {
+	f.Add("time_s,task\n0.000,0\n0.013,1\n")
+	f.Add("time_s\n0\n1\n2\n")
+	f.Add("time,task_id\n0.5,3\n")
+	f.Add("time_s,task\n0.013,1\n0.000,0\n")   // non-monotone
+	f.Add("time_s\nNaN\n")                     // non-finite
+	f.Add("time_s\n+Inf\n")                    // non-finite
+	f.Add("time_s\n-1\n")                      // negative
+	f.Add("time_s\n1e300\n")                   // clock overflow
+	f.Add("time_s,task\n0,-2\n")               // negative task id
+	f.Add("time_s,task\n0\n")                  // short record
+	f.Add("task\n0\n")                         // no time column
+	f.Add("")                                  // no header
+	f.Add("time_s\n0x1p-3\n")                  // hex float
+	f.Add("time_s,task\n\"0.1\",\"0\"\njunk,") // quoting + trailing junk
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseTraceCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			if d != nil {
+				t.Fatalf("error %v alongside non-nil data", err)
+			}
+			return
+		}
+		if len(d.Times) == 0 {
+			t.Fatal("accepted a trace with no arrivals")
+		}
+		if len(d.Tasks) > 0 && len(d.Tasks) != len(d.Times) {
+			t.Fatalf("tasks (%d) not parallel to times (%d)", len(d.Tasks), len(d.Times))
+		}
+		for i, at := range d.Times {
+			if at < 0 {
+				t.Fatalf("row %d: accepted negative time %v", i, at)
+			}
+			if i > 0 && at < d.Times[i-1] {
+				t.Fatalf("row %d: accepted non-monotone time %v after %v", i, at, d.Times[i-1])
+			}
+		}
+		for i, id := range d.Tasks {
+			if id < 0 {
+				t.Fatalf("row %d: accepted negative task id %d", i, id)
+			}
+		}
+	})
+}
