@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate bench-long bench-ff lint experiments examples fuzz-smoke ci
+## Benchmark JSON snapshots: BENCH_BASELINE is the frozen reference the delta
+## report and the allocation gate compare against; BENCH_CURRENT is the
+## snapshot bench-json rewrites. Bump BENCH_CURRENT (and, when a baseline is
+## re-frozen, BENCH_BASELINE) here instead of editing the recipes.
+BENCH_BASELINE ?= BENCH_5.json
+BENCH_CURRENT ?= BENCH_7.json
+
+.PHONY: build test race bench bench-json bench-gate bench-long bench-ff lint vuln experiments examples fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,21 +26,21 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-json: rewrite BENCH_7.json (machine-readable ns/op, B/op,
+## bench-json: rewrite $(BENCH_CURRENT) (machine-readable ns/op, B/op,
 ## allocs/op, and custom metrics per benchmark) from a 3-iteration run,
-## printing the ns/op and allocs/op delta against BENCH_5.json — the frozen
-## pre-fast-forward baseline — first. This is how the perf trajectory
+## printing the ns/op and allocs/op delta against $(BENCH_BASELINE) — the
+## frozen reference snapshot — first. This is how the perf trajectory
 ## stays trackable across PRs.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x . \
-		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_5.json -out BENCH_7.json
+		| $(GO) run ./cmd/sgprs-benchjson -baseline $(BENCH_BASELINE) -out $(BENCH_CURRENT)
 
 ## bench-gate: the CI allocation gate — re-run the pinned benches and fail
-## on a >25% allocs/op regression against the committed BENCH_7.json.
+## on a >25% allocs/op regression against the committed $(BENCH_CURRENT).
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention|BenchmarkOverloadTail|BenchmarkSteadyState' \
 		-benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/sgprs-benchjson -baseline BENCH_7.json -out /tmp/bench-current.json \
+		| $(GO) run ./cmd/sgprs-benchjson -baseline $(BENCH_CURRENT) -out /tmp/bench-current.json \
 			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/|BenchmarkOverloadTail/|BenchmarkSteadyState/' \
 			-max-allocs-regress 25
 
@@ -49,11 +56,26 @@ bench-long:
 bench-ff:
 	$(GO) test -run '^$$' -bench 'BenchmarkSteadyState|BenchmarkLongHorizon' -benchmem -benchtime 1x .
 
+## lint: vet, gofmt, and the sgprs-lint determinism suite (DESIGN.md §14) —
+## the same blocking gate CI runs.
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) run ./cmd/sgprs-lint ./...
+
+## vuln: scan the module against the Go vulnerability database. Uses a
+## govulncheck binary when one is installed; otherwise reports how to get
+## one rather than failing the build (the tool needs network access).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; install with:" >&2; \
+		echo "  go install golang.org/x/vuln/cmd/govulncheck@latest" >&2; \
+		exit 1; \
 	fi
 
 ## experiments: enumerate the declarative experiment registry (name,
@@ -71,8 +93,17 @@ examples:
 	$(GO) run ./examples/faultinjection
 
 ## fuzz-smoke: a short bounded run of every fuzz target — enough to catch
-## parser regressions on each push without burning CI minutes.
+## parser regressions on each push without burning CI minutes. Targets are
+## enumerated with `go test -list '^Fuzz'` per package, so adding a fuzz
+## function anywhere in the tree adds it to this gate automatically.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzParseTraceCSV -fuzztime 10s ./internal/workload/
+	@set -e; \
+	for pkg in $$($(GO) list ./...); do \
+		targets=$$($(GO) test -list '^Fuzz' "$$pkg" | grep '^Fuzz' || true); \
+		for t in $$targets; do \
+			echo "fuzz-smoke: $$pkg $$t"; \
+			$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime 10s "$$pkg"; \
+		done; \
+	done
 
 ci: lint build race examples fuzz-smoke bench bench-gate

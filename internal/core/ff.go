@@ -41,6 +41,7 @@ func (s *Scheduler) EncodeState(buf []byte, jobEnc func(buf []byte, j *rt.Job) [
 	// order must never leak into a fingerprint). Entries with nil jobs are
 	// semantically absent but kept by jobOver; encode presence explicitly.
 	s.encIDs = s.encIDs[:0]
+	//sgprs:allow maporder — task IDs are collected then sorted before any byte is encoded
 	for id := range s.active {
 		s.encIDs = append(s.encIDs, id)
 	}
@@ -56,6 +57,7 @@ func (s *Scheduler) EncodeState(buf []byte, jobEnc func(buf []byte, j *rt.Job) [
 		}
 	}
 	s.encIDs = s.encIDs[:0]
+	//sgprs:allow maporder — task IDs are collected then sorted before any byte is encoded
 	for id := range s.held {
 		s.encIDs = append(s.encIDs, id)
 	}

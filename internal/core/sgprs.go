@@ -328,6 +328,9 @@ func (s *Scheduler) assign(st *rt.StageJob, now des.Time) *ctxState {
 		c := s.ctxs[s.rrNext%len(s.ctxs)]
 		s.rrNext++
 		return c
+	case PolicyPaper:
+		// Falls out to the paper rules below — shared with any policy
+		// value Config validation did not catch.
 	}
 	// The paper's three rules, in order.
 	// Rule 1: empty queues first.

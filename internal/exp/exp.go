@@ -274,6 +274,7 @@ func (a Axis) validate(spec string) error {
 	}
 	for _, v := range a.Values {
 		bad := ""
+		//sgprs:allow tagswitch — AxisArrival returned above: an arrival axis has no numeric values to validate
 		switch a.Kind {
 		case AxisTasks:
 			if v != math.Trunc(v) || v < 1 {
@@ -522,15 +523,22 @@ func (s *Spec) Compile() (*Compiled, error) {
 	return c, nil
 }
 
-// applyAxis writes the axis's idx-th point into a run configuration.
+// applyAxis writes the axis's idx-th point into a run configuration. The
+// switch is exhaustive over AxisKind (tagswitch enforces it): the arrival
+// axis applies its process points, the task axis is the grid's own
+// dimension and never routes through here, and every numeric axis reads
+// a.Values[idx].
 func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
-	if a.Kind == AxisArrival {
+	switch a.Kind {
+	case AxisArrival:
 		cfg.Arrival = a.Arrivals[idx]
 		return nil
-	}
-	v := a.Values[idx]
-	switch a.Kind {
+	case AxisTasks:
+		// The task count is the grid's own dimension: compile expands it
+		// into per-cell jobs and never routes it through applyAxis.
+		return fmt.Errorf("cannot apply %s axis", a.Kind)
 	case AxisOverSub:
+		v := a.Values[idx]
 		np := len(cfg.ContextSMs)
 		if np == 0 {
 			return fmt.Errorf("%s axis needs a context pool on the variant template", a.Kind)
@@ -544,18 +552,18 @@ func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
 		}
 		cfg.ContextSMs = sim.ContextPool(np, v, total)
 	case AxisFPS:
-		cfg.FPS = v
+		cfg.FPS = a.Values[idx]
 	case AxisJitterMS:
-		cfg.ReleaseJitterMS = v
+		cfg.ReleaseJitterMS = a.Values[idx]
 	case AxisWorkVar:
-		cfg.WorkVariation = v
+		cfg.WorkVariation = a.Values[idx]
 	case AxisHorizonSec:
-		cfg.HorizonSec = v
+		cfg.HorizonSec = a.Values[idx]
 	case AxisRate:
 		if cfg.Arrival == nil {
 			return fmt.Errorf("%s axis needs an arrival process on the variant (set RunConfig.Arrival or add an arrival axis)", a.Kind)
 		}
-		cfg.Arrival = cfg.Arrival.Scale(v)
+		cfg.Arrival = cfg.Arrival.Scale(a.Values[idx])
 	case AxisFaultRate:
 		// cfg is a shallow copy of the variant template, so the Faults
 		// pointer aliases it (and every other grid cell): deep-copy
@@ -567,7 +575,7 @@ func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
 		if fc.Transient == nil {
 			fc.Transient = &fault.Transient{}
 		}
-		fc.Transient.Prob = v
+		fc.Transient.Prob = a.Values[idx]
 		cfg.Faults = fc
 	case AxisDegradation:
 		if cfg.Faults == nil || len(cfg.Faults.Degradation) == 0 {
@@ -575,7 +583,7 @@ func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
 		}
 		fc := cfg.Faults.Clone()
 		for i := range fc.Degradation {
-			fc.Degradation[i].SMs = int(v)
+			fc.Degradation[i].SMs = int(a.Values[idx])
 		}
 		cfg.Faults = fc
 	default:

@@ -134,6 +134,7 @@ func (d *Device) advance(now des.Time) {
 			if done > k.remainingWork {
 				done = k.remainingWork
 			}
+			//sgprs:allow floatfold — per-kernel countdown: the lone += (fault-injection work inflation, Kernel.InflateWork) happens at launch, before any decrement
 			k.remainingWork -= done
 			busy := k.effSMs * remaining / 1000
 			workDone += done
@@ -551,6 +552,7 @@ func (d *Device) complete(k *Kernel, now des.Time) {
 	if ctx.activeKernels == 0 {
 		d.busyDemand -= ctx.sms
 	}
+	//sgprs:allow floatfold — priority weights are small exact integers; integer-float += / -= never rounds (DESIGN.md §10)
 	ctx.weightSum -= k.stream.priority.weight()
 	s := k.stream
 	s.running = nil
@@ -615,6 +617,7 @@ func (d *Device) Abort(k *Kernel, now des.Time) {
 	if ctx.activeKernels == 0 {
 		d.busyDemand -= ctx.sms
 	}
+	//sgprs:allow floatfold — priority weights are small exact integers; integer-float += / -= never rounds (DESIGN.md §10)
 	ctx.weightSum -= k.stream.priority.weight()
 	s := k.stream
 	s.running = nil

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch. A violation that is deliberate — a map iteration whose
+// keys are sorted before use, a float maintained with provably exact
+// arithmetic — is annotated in place:
+//
+//	//sgprs:allow maporder — keys are collected then sorted before use
+//
+// The annotation names exactly one analyzer and must carry a reason after an
+// "—" (or "--") separator. It suppresses that analyzer's diagnostics on the
+// same line or the line directly below (the usual comment-above-statement
+// position). The driver verifies every allow is load-bearing: an allow that
+// matches no diagnostic is itself an error, so stale exemptions cannot
+// outlive the code they excused.
+
+const allowPrefix = "//sgprs:allow"
+
+// An allow is one parsed //sgprs:allow comment.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// collectAllows parses every //sgprs:allow comment in the package. Malformed
+// annotations (unknown analyzer, missing reason) are returned as diagnostics
+// attributed to the driver — they fail the run like any finding.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allow, []Diagnostic) {
+	var allows []*allow
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a, err := parseAllow(c.Text, known)
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  err.Error(),
+					})
+					continue
+				}
+				a.pos = pos
+				allows = append(allows, a)
+			}
+		}
+	}
+	return allows, diags
+}
+
+// parseAllow validates "//sgprs:allow <analyzer> — <reason>".
+func parseAllow(text string, known map[string]bool) (*allow, error) {
+	body := strings.TrimPrefix(text, allowPrefix)
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return nil, fmt.Errorf("malformed %s comment: want %q", allowPrefix, allowPrefix+" <analyzer> — <reason>")
+	}
+	name, reason := body, ""
+	for _, sep := range []string{"—", "--"} {
+		if i := strings.Index(body, sep); i >= 0 {
+			name, reason = body[:i], body[i+len(sep):]
+			break
+		}
+	}
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if name == "" || !known[name] {
+		return nil, fmt.Errorf("%s names unknown analyzer %q", allowPrefix, name)
+	}
+	if reason == "" {
+		return nil, fmt.Errorf("%s %s has no reason: want %q", allowPrefix, name, allowPrefix+" "+name+" — <reason>")
+	}
+	return &allow{analyzer: name, reason: reason}, nil
+}
+
+// applyAllows suppresses diagnostics covered by an allow, marks the allows
+// that earned their keep, and reports every unused allow as a diagnostic of
+// its own. Only allows naming an analyzer in the active set are checked for
+// use — an allow for an analyzer excluded from this run proves nothing
+// either way.
+func applyAllows(diags []Diagnostic, allows []*allow, active map[string]bool) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer == d.Analyzer && a.pos.Filename == d.Pos.Filename &&
+				(a.pos.Line == d.Pos.Line || a.pos.Line+1 == d.Pos.Line) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		if !a.used && active[a.analyzer] {
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Pos:      a.pos,
+				Message:  fmt.Sprintf("unused %s %s — it suppresses no diagnostic; delete it or fix the annotation position", allowPrefix, a.analyzer),
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,7 @@
+package lint
+
+// All returns the full determinism suite in reporting order. The slice is
+// freshly allocated; callers may subset it (sgprs-lint's -run flag does).
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, RNGPurity, GoroutineBan, FloatFold, TagSwitch}
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "fmt"
+
+// Run executes analyzers over pkgs, applies the //sgprs:allow escape hatch,
+// and returns the surviving diagnostics in (file, line, column, analyzer)
+// order. A nil analyzer list means All(). The returned error is reserved
+// for analyzer-internal failures; findings are diagnostics, not errors.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if analyzers == nil {
+		analyzers = All()
+	}
+	// Allow comments may name any analyzer of the suite, not just the ones
+	// selected for this run (sgprs-lint -run subsets); an allow for an
+	// analyzer that did not run is neither unknown nor unused.
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		active[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pd, err := runPackage(pkg, analyzers, known, active)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, pd...)
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// runPackage runs every analyzer over one package and settles its allows.
+// Allows are package-scoped: an exemption must suppress a diagnostic from
+// the same run that sees the comment, or it is reported as unused.
+func runPackage(pkg *Package, analyzers []*Analyzer, known, active map[string]bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ImportPath: pkg.ImportPath,
+			ModulePath: pkg.ModulePath,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	allows, allowDiags := collectAllows(pkg.Fset, pkg.Files, known)
+	diags = applyAllows(diags, allows, active)
+	return append(diags, allowDiags...), nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineBan forbids `go` statements and channel operations in simulation
+// packages. The simulation core is single-threaded by construction — one
+// event loop, one goroutine — and every parallel speedup comes from running
+// independent simulations side by side in internal/runner, which owns all
+// concurrency (worker pools, result ordering, progress fan-in). A goroutine
+// or channel inside the core reintroduces scheduler-interleaving
+// nondeterminism that no seed controls, and -race cannot prove ordering,
+// only the absence of unsynchronized access.
+var GoroutineBan = &Analyzer{
+	Name: "goroutineban",
+	Doc: "go statements or channel operations in a simulation package; " +
+		"concurrency belongs to internal/runner only",
+	Run: runGoroutineBan,
+}
+
+func runGoroutineBan(pass *Pass) error {
+	if !pass.InSimPackage() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in a simulation package; move concurrency to internal/runner")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in a simulation package; move concurrency to internal/runner")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in a simulation package; move concurrency to internal/runner")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in a simulation package; move concurrency to internal/runner")
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over a channel in a simulation package; move concurrency to internal/runner")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && isBuiltin(pass, id) {
+					switch id.Name {
+					case "make":
+						if len(n.Args) > 0 {
+							if t := pass.TypeOf(n.Args[0]); t != nil {
+								if _, isChan := t.Underlying().(*types.Chan); isChan {
+									pass.Reportf(n.Pos(), "make(chan) in a simulation package; move concurrency to internal/runner")
+								}
+							}
+						}
+					case "close":
+						if len(n.Args) == 1 {
+							if t := pass.TypeOf(n.Args[0]); t != nil {
+								if _, isChan := t.Underlying().(*types.Chan); isChan {
+									pass.Reportf(n.Pos(), "close of a channel in a simulation package; move concurrency to internal/runner")
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package lint is the determinism discipline, enforced at compile time.
+//
+// Every figure this repository reproduces rests on one invariant: simulation
+// output is bit-identical across worker counts, cache states, fast-forward,
+// and fault-free injection. The house rules that keep the runtime
+// equivalence tests green — admission-ordered slices instead of
+// map-iteration accumulation, forked RNG streams instead of process globals,
+// no wall clock in the event loop, single-goroutine simulation cores,
+// exhaustive tag switches — used to live only in DESIGN.md prose and be
+// caught hours later by a 26-worker DeepEqual sweep. This package moves them
+// left: a suite of static analyzers (see DESIGN.md §14), run by
+// cmd/sgprs-lint as part of `make lint` and CI, rejects the pattern at push
+// time.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built on the standard library alone —
+// go/parser for syntax, go/types fed by `go list -export` export data for
+// type information — because the toolchain image carries no external
+// modules. Analyzers are pure functions from a type-checked package to
+// diagnostics; the driver (Run) layers the //sgprs:allow escape hatch on
+// top and turns an allow that suppresses nothing into an error of its own.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+)
+
+// An Analyzer is one named check of the determinism discipline.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sgprs:allow comments. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `sgprs-lint -list`.
+	Doc string
+	// Run inspects one type-checked package and reports findings through
+	// pass.Report. A returned error aborts the whole lint run (reserved
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ImportPath is the package's import path ("sgprs/internal/gpu", or
+	// the bare fixture name in analysistest runs).
+	ImportPath string
+	// ModulePath is the module the package belongs to ("sgprs");
+	// empty for fixtures, which are treated as their own module.
+	ModulePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// simPackages is the set of simulation packages the determinism discipline
+// binds — everything that executes inside (or feeds state into) the
+// deterministic event loop. Concurrency lives in runner, reporting in
+// report/analysis; neither is listed. Packages are matched by the base name
+// of their import path so analysistest fixtures (import path "gpu") bind the
+// same rules as the real tree ("sgprs/internal/gpu").
+var simPackages = map[string]bool{
+	"des":      true,
+	"gpu":      true,
+	"core":     true,
+	"naive":    true,
+	"sched":    true,
+	"sim":      true,
+	"metrics":  true,
+	"workload": true,
+	"fault":    true,
+}
+
+// InSimPackage reports whether the pass's package is bound by the
+// simulation-package rules (maporder, rngpurity, goroutineban, floatfold).
+func (p *Pass) InSimPackage() bool { return simPackages[path.Base(p.ImportPath)] }
+
+// inModule reports whether pkg (the defining package of some object) belongs
+// to the module under analysis. Fixtures have no module path; there the
+// package under analysis is the only in-module package.
+func (p *Pass) inModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if p.ModulePath == "" {
+		return pkg == p.Pkg
+	}
+	mp := pkg.Path()
+	return mp == p.ModulePath || len(mp) > len(p.ModulePath) &&
+		mp[:len(p.ModulePath)] == p.ModulePath && mp[len(p.ModulePath)] == '/'
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind —
+// the accumulation domain whose summation order the discipline pins.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortDiags orders diagnostics by position then analyzer — the stable
+// presentation order of the driver and the fixture harness.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` over a map in a simulation package whose body
+// accumulates into floats, appends to a slice, or schedules events — the
+// exact pattern that breaks cross-worker bit-identity. Go randomizes map
+// iteration order per process, so any order-sensitive fold over a map
+// produces different float rounding (and different event sequence numbers)
+// from run to run; the 26-worker DeepEqual sweeps in runner and the lockstep
+// cross-checks in gpu exist to catch precisely this class hours later. The
+// house pattern is an admission-ordered slice, or collect-keys-then-sort
+// (which earns a written //sgprs:allow — the allow marks where the sort is).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "range over a map feeding order-sensitive accumulation (float folds, " +
+		"appends, event scheduling) in a simulation package",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !pass.InSimPackage() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := orderSensitive(pass, rng.Body); why != "" {
+				pass.Reportf(rng.Pos(),
+					"range over map %s %s inside the loop; map iteration order is randomized — iterate an admission-ordered slice (or sort the keys and annotate)",
+					exprString(rng.X), why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitive reports how body depends on iteration order: a float
+// compound accumulation, an append, or an event-scheduling call. The first
+// hit names the diagnostic; one finding per loop keeps the allow annotation
+// one line.
+func orderSensitive(pass *Pass, body *ast.BlockStmt) string {
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN && n.Tok != token.MUL_ASSIGN {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if t := pass.TypeOf(lhs); t != nil && isFloat(t) {
+					why = "accumulates into float " + exprString(lhs)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			switch fn := n.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "append" && isBuiltin(pass, fn) {
+					why = "appends to a slice"
+					return false
+				}
+			case *ast.SelectorExpr:
+				if isSchedulingCall(fn.Sel.Name) {
+					why = "schedules events (" + fn.Sel.Name + ")"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// isSchedulingCall matches the des.Engine scheduling surface by method name
+// (Schedule, ScheduleFunc, AfterFunc, AfterArg, AfterArgMonotone,
+// Reschedule) — name-based so fixtures need no des import, and wide enough
+// that a future scheduling entry point following the naming convention is
+// covered automatically.
+func isSchedulingCall(name string) bool {
+	return strings.HasPrefix(name, "Schedule") ||
+		strings.HasPrefix(name, "After") ||
+		strings.HasPrefix(name, "Reschedule")
+}
+
+// isBuiltin reports whether id resolves to a universe-scope builtin (append
+// shadowed by a local function does not count).
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// exprString renders a short source form of simple expressions for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

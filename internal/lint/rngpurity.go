@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGPurity forbids ambient-state reads in simulation packages: math/rand's
+// top-level functions (the process-global generator), time.Now/time.Since
+// (the wall clock), and os.Getenv/os.LookupEnv (the environment). Inside the
+// event loop, all randomness must flow through forked des.RNG streams — one
+// per consumer, seeded from the run seed — and all time through the DES
+// clock, or two runs with the same seed diverge the moment goroutine
+// interleaving, host load, or environment differs. rand.New(rand.NewSource)
+// values are untouched: the rule bans the shared global, not seeded
+// generators.
+var RNGPurity = &Analyzer{
+	Name: "rngpurity",
+	Doc: "math/rand globals, wall-clock reads (time.Now/Since), or environment " +
+		"reads (os.Getenv) in a simulation package",
+	Run: runRNGPurity,
+}
+
+// bannedFuncs maps (package path, function) to the replacement the
+// diagnostic suggests.
+var bannedFuncs = map[[2]string]string{
+	{"time", "Now"}:      "the DES clock (des.Engine.Now)",
+	{"time", "Since"}:    "durations of des.Time instants",
+	{"os", "Getenv"}:     "explicit configuration",
+	{"os", "LookupEnv"}:  "explicit configuration",
+	{"os", "Environ"}:    "explicit configuration",
+	{"time", "Tick"}:     "scheduled des events",
+	{"time", "After"}:    "scheduled des events",
+	{"time", "Sleep"}:    "scheduled des events",
+	{"time", "NewTimer"}: "scheduled des events",
+}
+
+func runRNGPurity(pass *Pass) error {
+	if !pass.InSimPackage() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch pkg := fn.Pkg().Path(); pkg {
+			case "math/rand", "math/rand/v2":
+				if strings.HasPrefix(fn.Name(), "New") {
+					return true // constructors build seeded generators
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the process-global generator; fork a stream from the run seed (des.RNG) instead",
+					pkg, fn.Name())
+			default:
+				if repl, banned := bannedFuncs[[2]string{pkg, fn.Name()}]; banned {
+					pass.Reportf(sel.Pos(),
+						"%s.%s reads ambient state invisible to the run seed; use %s instead",
+						pkg, fn.Name(), repl)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

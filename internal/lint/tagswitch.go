@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TagSwitch requires switches over the module's tag enums — defined integer
+// types with a declared constant set, like event origin tags, scheduler
+// kinds, recovery actions, or axis kinds — to name every constant of the
+// type explicitly. A `default` clause is exactly the silent fall-through
+// this rule exists to close: when a new origin tag is added for state
+// fingerprinting (DESIGN.md §12) or a new recovery action for fault
+// injection (§13), every switch that routes on the enum must be revisited,
+// and the compiler has no exhaustiveness check of its own. A default is
+// still permitted for out-of-range values, but only in addition to the full
+// constant set.
+//
+// Unlike the simulation-package rules this one is module-wide: registry,
+// config, and CLI routing over the same enums drift just as silently.
+var TagSwitch = &Analyzer{
+	Name: "tagswitch",
+	Doc: "non-exhaustive switch over a tag enum (a defined integer type with " +
+		"a declared constant set); every constant must appear as a case",
+	Run: runTagSwitch,
+}
+
+func runTagSwitch(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := enumType(pass, pass.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			consts := enumConsts(named)
+			if len(consts) < 2 {
+				return true // a type with 0 or 1 constants is not an enum
+			}
+			missing := missingCases(pass, sw, consts)
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch over %s is not exhaustive: missing %s (a default clause does not count — new tags must not fall through silently)",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumType resolves t to a defined integer type declared in the module under
+// analysis, or nil.
+func enumType(pass *Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, isAlias := t.(*types.Alias); isAlias {
+			return enumType(pass, types.Unalias(alias))
+		}
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	if !pass.inModule(named.Obj().Pkg()) {
+		return nil
+	}
+	return named
+}
+
+// enumConsts lists the package-level constants of exactly type named, in
+// declaration-scope order.
+func enumConsts(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	return consts
+}
+
+// missingCases names the enum constants no case expression covers. Coverage
+// is by constant value: a case naming one of two aliased constants covers
+// both, and a case computing the value covers the constant it equals.
+func missingCases(pass *Pass, sw *ast.SwitchStmt, consts []*types.Const) []string {
+	var covered []constant.Value
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered = append(covered, tv.Value)
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		hit := false
+		for _, v := range covered {
+			if constant.Compare(c.Val(), token.EQL, v) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			missing = append(missing, c.Name())
+		}
+	}
+	return missing
+}

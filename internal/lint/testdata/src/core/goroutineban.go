@@ -1,0 +1,43 @@
+// Package core is a goroutineban fixture: the simulation core is
+// single-threaded by construction; concurrency belongs to internal/runner.
+package core
+
+func spawns() {
+	go func() {}() // want "go statement in a simulation package"
+}
+
+func channels(n int) int {
+	ch := make(chan int, 1) // want `make\(chan\) in a simulation package`
+	ch <- n                 // want "channel send in a simulation package"
+	v := <-ch               // want "channel receive in a simulation package"
+	close(ch)               // want "close of a channel in a simulation package"
+	return v
+}
+
+func selects(a, b chan int) int {
+	select { // want "select statement in a simulation package"
+	case v := <-a: // want "channel receive in a simulation package"
+		return v
+	case v := <-b: // want "channel receive in a simulation package"
+		return v
+	}
+}
+
+func drains(ch chan int) int {
+	sum := 0
+	for v := range ch { // want "range over a channel in a simulation package"
+		sum += v
+	}
+	return sum
+}
+
+// Single-threaded work is untouched: closures, defers, and plain loops.
+func clean(vals []int) int {
+	total := 0
+	f := func(v int) { total += v }
+	for _, v := range vals {
+		f(v)
+	}
+	defer f(0)
+	return total
+}

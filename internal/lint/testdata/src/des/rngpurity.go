@@ -1,0 +1,38 @@
+// Package des is an rngpurity fixture: a simulation package must draw all
+// randomness from forked streams and all time from the DES clock.
+package des
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func globalRandomness() float64 {
+	u := rand.Float64()                // want "draws from the process-global generator"
+	n := rand.Intn(10)                 // want "draws from the process-global generator"
+	rand.Shuffle(n, func(i, j int) {}) // want "draws from the process-global generator"
+	return u + float64(n)
+}
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time.Now reads ambient state`
+	return time.Since(start) // want `time.Since reads ambient state`
+}
+
+func environment() string {
+	v := os.Getenv("SGPRS_SEED")                  // want `os.Getenv reads ambient state`
+	if w, ok := os.LookupEnv("SGPRS_DEBUG"); ok { // want `os.LookupEnv reads ambient state`
+		return w
+	}
+	return v
+}
+
+// Seeded generators are the house pattern: constructors and methods on a
+// forked *rand.Rand are clean, as are time constants and arithmetic on
+// simulated instants.
+func seededRandomness(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	d := 5 * time.Millisecond
+	return r.Float64() * float64(r.Intn(10)) * d.Seconds()
+}

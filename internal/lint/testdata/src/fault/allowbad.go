@@ -1,0 +1,21 @@
+// Package fault is the malformed-annotation fixture: an allow must name a
+// real analyzer and carry a reason.
+package fault
+
+func unknownAnalyzer(weights map[int]float64) float64 {
+	sum := 0.0
+	//sgprs:allow mapiteration — no analyzer has this name
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+func missingReason(weights map[int]float64) float64 {
+	sum := 0.0
+	//sgprs:allow maporder
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,95 @@
+// Package gpu is a maporder fixture: its name places it inside the
+// simulation-package scope, like the real sgprs/internal/gpu.
+package gpu
+
+import "sort"
+
+type engine struct{ events []int }
+
+func (e *engine) Schedule(at int)      { e.events = append(e.events, at) }
+func (e *engine) AfterFunc(delay int)  { e.events = append(e.events, delay) }
+func (e *engine) Reschedule(at int)    { e.events = append(e.events, at) }
+func (e *engine) Lookup(key int) bool  { return key >= 0 }
+func (e *engine) Observe(sample int)   {}
+func (e *engine) helperSchedules() int { return len(e.events) }
+
+func floatAccumulation(weights map[int]float64) float64 {
+	sum := 0.0
+	for _, w := range weights { // want "accumulates into float sum"
+		sum += w
+	}
+	return sum
+}
+
+func floatSubtraction(weights map[int]float64) float64 {
+	budget := 100.0
+	for _, w := range weights { // want "accumulates into float budget"
+		budget -= w
+	}
+	return budget
+}
+
+func sliceAppend(jobs map[int]string) []string {
+	var order []string
+	for _, j := range jobs { // want "appends to a slice"
+		order = append(order, j)
+	}
+	return order
+}
+
+func eventScheduling(e *engine, releases map[int]int) {
+	for _, at := range releases { // want `schedules events \(Schedule\)`
+		e.Schedule(at)
+	}
+}
+
+func nestedAccumulation(groups map[int][]float64) float64 {
+	total := 0.0
+	for _, g := range groups { // want "accumulates into float total"
+		for _, v := range g {
+			total += v
+		}
+	}
+	return total
+}
+
+// collectThenSort is the blessed escape: the keys are sorted before any
+// order-sensitive use, and the allow documents exactly that.
+func collectThenSort(weights map[int]float64) float64 {
+	var keys []int
+	//sgprs:allow maporder — keys are collected then sorted before use
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}
+
+// Order-insensitive map loops stay clean: integer counting, lookups,
+// max-tracking, and folds over slices.
+func cleanLoops(weights map[int]float64, ordered []float64, e *engine) (int, float64) {
+	n := 0
+	for range weights {
+		n++
+	}
+	maxW := 0.0
+	for _, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	sum := 0.0
+	for _, w := range ordered {
+		sum += w
+	}
+	for k := range weights {
+		if e.Lookup(k) {
+			e.Observe(k)
+		}
+	}
+	return n, maxW + sum
+}

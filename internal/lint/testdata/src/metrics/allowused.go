@@ -1,0 +1,26 @@
+// Package metrics is the load-bearing-allow fixture: every violation here
+// carries a written exemption, so the run comes back clean.
+package metrics
+
+import "sort"
+
+func sortedFold(weights map[int]float64) float64 {
+	var keys []int
+	//sgprs:allow maporder — keys are collected then sorted before use
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}
+
+type counter struct{ exact float64 }
+
+func (c *counter) up() { c.exact += 1 }
+func (c *counter) down() { //sgprs:allow floatfold — increments are the exact integer 1; integer floats never round below 2^53
+	c.exact -= 1
+}

@@ -1,0 +1,12 @@
+// Package naive is the stale-exemption fixture: its allow suppresses
+// nothing, and the driver reports the annotation itself.
+package naive
+
+func cleanSum(ordered []float64) float64 {
+	sum := 0.0
+	//sgprs:allow maporder — stale exemption left behind after a refactor
+	for _, v := range ordered {
+		sum += v
+	}
+	return sum
+}

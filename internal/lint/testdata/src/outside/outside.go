@@ -1,0 +1,43 @@
+// Package outside is the shared negative fixture for the scoped rules: it
+// is not a simulation package, so the very patterns the sim packages reject
+// — map-order accumulation, ambient randomness, wall-clock reads,
+// goroutines, incremental float folds — report nothing here. Reporting,
+// tooling, and the runner legitimately do all of these.
+package outside
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func mapAccumulation(weights map[int]float64) float64 {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+func ambientState() float64 {
+	_ = os.Getenv("HOME")
+	_ = time.Now()
+	return rand.Float64()
+}
+
+func concurrency(vals []int) int {
+	ch := make(chan int)
+	go func() {
+		total := 0
+		for _, v := range vals {
+			total += v
+		}
+		ch <- total
+	}()
+	return <-ch
+}
+
+type pool struct{ level float64 }
+
+func (p *pool) fill(v float64)  { p.level += v }
+func (p *pool) drain(v float64) { p.level -= v }

@@ -1,0 +1,49 @@
+// Package sim is a floatfold fixture: a float object receiving both += and
+// -= is an incremental fold whose value depends on operation history.
+package sim
+
+type device struct {
+	weightSum float64
+	busySMs   int
+	load      float32
+}
+
+func (d *device) admit(w float64, sms int) {
+	d.weightSum += w
+	d.busySMs += sms
+	d.load += float32(sms)
+}
+
+func (d *device) retire(w float64, sms int) {
+	d.weightSum -= w // want "float d.weightSum is maintained incrementally"
+	d.busySMs -= sms
+	d.load -= float32(sms) // want "float d.load is maintained incrementally"
+}
+
+func localFold(deltas []float64) float64 {
+	level := 0.0
+	for _, d := range deltas {
+		if d > 0 {
+			level += d
+		} else {
+			level -= -d // want "float level is maintained incrementally"
+		}
+	}
+	return level
+}
+
+// Add-only folds over ordered slices are the house pattern, integer
+// maintenance is exact, and a decrement-only countdown has no pair.
+func clean(ordered []float64, budget float64) (float64, int) {
+	sum := 0.0
+	for _, v := range ordered {
+		sum += v
+	}
+	count := 0
+	count++
+	count -= 1
+	for _, v := range ordered {
+		budget -= v
+	}
+	return sum + budget, count
+}

@@ -1,0 +1,73 @@
+// Package workload is a tagswitch fixture: switches over a tag enum must
+// name every constant; a default clause does not excuse a missing tag.
+package workload
+
+import "fmt"
+
+// EventTag is a tag enum: a defined integer type with a declared constant
+// set.
+type EventTag int
+
+// Event origin tags.
+const (
+	TagRelease EventTag = iota
+	TagLaunch
+	TagFinish
+	TagDiscard
+)
+
+// priority has exactly one constant — not an enum, never checked.
+type priority int
+
+const defaultPriority priority = 0
+
+func route(t EventTag) string {
+	switch t { // want "switch over EventTag is not exhaustive: missing TagDiscard"
+	case TagRelease:
+		return "release"
+	case TagLaunch:
+		return "launch"
+	case TagFinish:
+		return "finish"
+	}
+	return ""
+}
+
+func routeWithDefault(t EventTag) string {
+	switch t { // want "switch over EventTag is not exhaustive: missing TagFinish"
+	case TagRelease, TagLaunch, TagDiscard:
+		return "known"
+	default:
+		return "silently swallowed"
+	}
+}
+
+// Exhaustive switches are clean, with or without an out-of-range default,
+// and non-enum subjects (plain ints, single-constant types, strings) are
+// out of scope.
+func clean(t EventTag, p priority, n int, s string) string {
+	switch t {
+	case TagRelease, TagLaunch:
+		return "early"
+	case TagFinish, TagDiscard:
+		return "late"
+	default:
+		return fmt.Sprintf("tag(%d)", int(t))
+	}
+}
+
+func cleanNonEnums(p priority, n int, s string) string {
+	switch p {
+	case defaultPriority:
+		return "default"
+	}
+	switch n {
+	case 1:
+		return "one"
+	}
+	switch s {
+	case "a":
+		return "a"
+	}
+	return ""
+}

@@ -33,15 +33,23 @@ type FFStats struct {
 	CyclesSkipped uint64
 }
 
+// opKind is the origin tag of one recorded metric operation. It is a named
+// enum on purpose: the replay switch must stay exhaustive (tagswitch,
+// DESIGN.md §14), so a new op kind recorded for fingerprinting cannot
+// silently fall through the extrapolation and desynchronize the collector
+// from the full simulation it stands in for.
+type opKind uint8
+
+// Recorded-op origin tags.
 const (
-	opRelease = uint8(iota)
+	opRelease opKind = iota
 	opDone
 	opDiscard
 )
 
 // ffOp is one recorded metric operation of the measurement cycle.
 type ffOp struct {
-	kind uint8
+	kind opKind
 	// inWin carries JobReleased's in-window decision (release ops) or
 	// JobDone's window test (done ops).
 	inWin bool

@@ -214,7 +214,7 @@ func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sche
 				stream.Submit(k)
 			})
 		}
-	default:
+	case sched.ActionSkipJob, sched.ActionKillChain:
 		k.Reset()
 		s.kernelPool = append(s.kernelPool, k)
 		job.Discard(now)

@@ -29,30 +29,68 @@ func FuzzParseTraceCSV(f *testing.F) {
 	f.Add("time_s,task\n\"0.1\",\"0\"\njunk,") // quoting + trailing junk
 	f.Fuzz(func(t *testing.T, input string) {
 		d, err := ParseTraceCSV("fuzz", strings.NewReader(input))
-		if err != nil {
-			if d != nil {
-				t.Fatalf("error %v alongside non-nil data", err)
-			}
-			return
-		}
-		if len(d.Times) == 0 {
-			t.Fatal("accepted a trace with no arrivals")
-		}
-		if len(d.Tasks) > 0 && len(d.Tasks) != len(d.Times) {
-			t.Fatalf("tasks (%d) not parallel to times (%d)", len(d.Tasks), len(d.Times))
-		}
-		for i, at := range d.Times {
-			if at < 0 {
-				t.Fatalf("row %d: accepted negative time %v", i, at)
-			}
-			if i > 0 && at < d.Times[i-1] {
-				t.Fatalf("row %d: accepted non-monotone time %v after %v", i, at, d.Times[i-1])
-			}
-		}
-		for i, id := range d.Tasks {
-			if id < 0 {
-				t.Fatalf("row %d: accepted negative task id %d", i, id)
-			}
-		}
+		checkTraceContract(t, d, err)
 	})
+}
+
+// FuzzParseTraceJSON drives the JSON trace parser with arbitrary input and
+// holds it to the same contract as the CSV parser: no panics, and every
+// accepted trace satisfies the replay-layer invariants. The JSON path has its
+// own failure surface — decoder errors, a name override, and a times/tasks
+// pair that arrives as independent arrays rather than rows — so it gets its
+// own corpus.
+func FuzzParseTraceJSON(f *testing.F) {
+	f.Add(`{"name":"t","times_s":[0.0,0.013],"tasks":[0,1]}`)
+	f.Add(`{"times_s":[0,1,2]}`)
+	f.Add(`{"times_s":[0.013,0.0]}`)             // non-monotone
+	f.Add(`{"times_s":[null]}`)                  // null time
+	f.Add(`{"times_s":[-1]}`)                    // negative
+	f.Add(`{"times_s":[1e300]}`)                 // clock overflow
+	f.Add(`{"times_s":[0],"tasks":[-2]}`)        // negative task id
+	f.Add(`{"times_s":[0,1],"tasks":[0]}`)       // tasks not parallel
+	f.Add(`{"times_s":[]}`)                      // no arrivals
+	f.Add(`{}`)                                  // empty object
+	f.Add(`[]`)                                  // wrong top-level type
+	f.Add(`{"times_s":[0],`)                     // truncated
+	f.Add(`{"name":123,"times_s":[0]}`)          // wrong name type
+	f.Add(`{"times_s":["0.5"]}`)                 // string time
+	f.Add("{\"times_s\":[0]}\n{\"x\":1}")        // trailing document
+	f.Add(`{"TIMES_S":[0],"times_s":[0.5,.25]}`) // case fold + bad literal
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseTraceJSON("fuzz", strings.NewReader(input))
+		checkTraceContract(t, d, err)
+	})
+}
+
+// checkTraceContract asserts the parser postcondition shared by every trace
+// format: an error yields no data, and accepted data satisfies the replay
+// invariants (at least one arrival; times non-negative and non-decreasing;
+// task ids non-negative and parallel to the times when present).
+func checkTraceContract(t *testing.T, d *TraceData, err error) {
+	t.Helper()
+	if err != nil {
+		if d != nil {
+			t.Fatalf("error %v alongside non-nil data", err)
+		}
+		return
+	}
+	if len(d.Times) == 0 {
+		t.Fatal("accepted a trace with no arrivals")
+	}
+	if len(d.Tasks) > 0 && len(d.Tasks) != len(d.Times) {
+		t.Fatalf("tasks (%d) not parallel to times (%d)", len(d.Tasks), len(d.Times))
+	}
+	for i, at := range d.Times {
+		if at < 0 {
+			t.Fatalf("row %d: accepted negative time %v", i, at)
+		}
+		if i > 0 && at < d.Times[i-1] {
+			t.Fatalf("row %d: accepted non-monotone time %v after %v", i, at, d.Times[i-1])
+		}
+	}
+	for i, id := range d.Tasks {
+		if id < 0 {
+			t.Fatalf("row %d: accepted negative task id %d", i, id)
+		}
+	}
 }
