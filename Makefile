@@ -38,10 +38,10 @@ bench-json:
 ## bench-gate: the CI allocation gate — re-run the pinned benches and fail
 ## on a >25% allocs/op regression against the committed $(BENCH_CURRENT).
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention|BenchmarkOverloadTail|BenchmarkSteadyState' \
+	$(GO) test -run '^$$' -bench 'BenchmarkScenarioRegeneration|BenchmarkSingleRun|BenchmarkEngineThroughput|BenchmarkLongHorizon|BenchmarkDenseContention|BenchmarkOverloadTail|BenchmarkSteadyState|BenchmarkFleetFailover' \
 		-benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/sgprs-benchjson -baseline $(BENCH_CURRENT) -out /tmp/bench-current.json \
-			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/|BenchmarkOverloadTail/|BenchmarkSteadyState/' \
+			-gate 'BenchmarkSingleRun/|BenchmarkScenarioRegeneration/(uncached|cold|warm)-offline|BenchmarkLongHorizon/|BenchmarkOverloadTail/|BenchmarkSteadyState/|BenchmarkFleetFailover/' \
 			-max-allocs-regress 25
 
 ## bench-long: the long-horizon memory benchmark alone — verifies that
@@ -84,13 +84,14 @@ experiments:
 	$(GO) run ./cmd/sgprs-sweep -list
 
 ## examples: build every example, then smoke-run the quickstart, the
-## registry-driven experiment example, and the fault-injection walkthrough
-## (the CI examples gate).
+## registry-driven experiment example, and the fault-injection and
+## fleet-failover walkthroughs (the CI examples gate).
 examples:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/registry
 	$(GO) run ./examples/faultinjection
+	$(GO) run ./examples/fleet
 
 ## fuzz-smoke: a short bounded run of every fuzz target — enough to catch
 ## parser regressions on each push without burning CI minutes. Targets are

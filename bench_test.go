@@ -20,6 +20,7 @@ import (
 	"sgprs/internal/core"
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
+	"sgprs/internal/fault"
 	"sgprs/internal/gpu"
 	"sgprs/internal/memo"
 	"sgprs/internal/profile"
@@ -614,6 +615,53 @@ func BenchmarkEnergyEfficiency(b *testing.B) {
 			}
 			b.ReportMetric(res.FPSPerWatt, "fps_per_watt")
 			b.ReportMetric(res.AvgPowerW, "watts")
+		})
+	}
+}
+
+// BenchmarkFleetFailover is the fleet-layer benchmark (DESIGN.md §15): a
+// 3-device fleet loses device 1 mid-run and recovers it a second later,
+// once per failover policy, against a clean fleet twin. The failover
+// counters ride alongside the allocation figures the CI gate pins.
+func BenchmarkFleetFailover(b *testing.B) {
+	base := ablationBase()
+	base.Name = "fleet"
+	base.ContextSMs = sgprs.ContextPool(3, 1.0, 68)
+	base.Devices = 3
+	base.AdmitCeiling = 0.7
+	for _, bench := range []struct {
+		name    string
+		policy  sgprs.FailoverPolicy
+		crashed bool
+	}{
+		{"clean", sgprs.FailoverDefault, false},
+		{"migrate", sgprs.FailoverMigrate, true},
+		{"retry", sgprs.FailoverRetry, true},
+		{"shed", sgprs.FailoverShed, true},
+	} {
+		bench := bench
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := base
+			cfg.Failover = bench.policy
+			if bench.crashed {
+				cfg.Faults = &fault.Config{
+					DeviceFaults: []fault.DeviceFault{{Device: 1, StartSec: 2, RestartSec: 3}},
+				}
+			}
+			b.ReportAllocs()
+			var res sgprs.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = sgprs.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			fl := res.Summary.Fleet
+			b.ReportMetric(res.Summary.TotalFPS, "fps")
+			b.ReportMetric(res.Summary.DMR, "dmr")
+			b.ReportMetric(float64(fl.Migrations), "migrations")
+			b.ReportMetric(float64(fl.ShedReleases), "shed_releases")
+			b.ReportMetric(fl.FleetDegradedDMR, "fleet_dmr")
 		})
 	}
 }

@@ -23,12 +23,20 @@
 // axis, and -slo reports a response-time objective's hit rate alongside the
 // overload metrics (drop rate, p99/p999, backlog depth).
 //
+// Fleet runs (DESIGN.md §15) layer on the same way: -devices puts every
+// variant on an N-device fleet behind the dispatcher, -placement picks the
+// chain-homing policy, -failover the device-crash policy, and -admit the
+// degraded-capacity admission ceiling; device failure windows ride in the
+// -faults block's device_faults list.
+//
 // Usage:
 //
 //	sgprs-sweep -list
 //	sgprs-sweep -experiment jitter-ladder [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress]
 //	sgprs-sweep -experiment overload-tail [-rate 1,1.5,2] [-slo 33.3]
 //	sgprs-sweep -experiment fault-resilience [-faults '{"transient":{"prob":0.05,"policy":"retry"}}']
+//	sgprs-sweep -experiment fleet-failover [-failover retry] [-admit 0.8]
+//	sgprs-sweep -scenario 2 -devices 3 -placement context-fit -faults '{"device_faults":[{"device":1,"start_sec":3,"restart_sec":5}]}'
 //	sgprs-sweep -scenario 1 [-arrival poisson] [-arrival-period 8] [-trace arrivals.csv] [-tasks 1..30] [-horizon 10] [-seed 1] [-jobs N] [-csv] [-progress] [-no-offline-cache] [-offline-stats]
 //	sgprs-sweep -config experiment.json
 package main
@@ -46,11 +54,13 @@ import (
 	"syscall"
 	"text/tabwriter"
 
+	"sgprs/internal/cluster"
 	"sgprs/internal/config"
 	"sgprs/internal/exp"
 	"sgprs/internal/fault"
 	"sgprs/internal/memo"
 	"sgprs/internal/report"
+	"sgprs/internal/rt"
 	"sgprs/internal/runner"
 	"sgprs/internal/workload"
 )
@@ -76,6 +86,10 @@ func main() {
 	rates := flag.String("rate", "", "arrival-rate axis: comma-separated intensity multipliers (e.g. 1,1.25,1.5); needs -arrival, -trace, or an experiment with arrivals")
 	slo := flag.Float64("slo", 0, "response-time SLO in milliseconds (0 = none); reported as SLO hit rate")
 	faults := flag.String("faults", "", "fault-injection config applied to every variant: inline JSON ('{\"transient\":{\"prob\":0.05}}') or a file path")
+	devices := flag.Int("devices", 0, "fleet size: run every variant on N devices behind the dispatcher (0 = leave the spec as declared; 1 = force single-device)")
+	placement := flag.String("placement", "", "fleet chain-homing policy: bin-pack|context-fit|load-steal (needs a fleet: -devices > 1 or a fleet experiment)")
+	failover := flag.String("failover", "", "device-crash policy: migrate|retry|shed (needs a fleet)")
+	admit := flag.Float64("admit", -1, "fleet admission ceiling: shed new releases while surviving capacity is below this utilization fraction (-1 = leave the spec as declared)")
 	flag.Parse()
 
 	if *list {
@@ -105,6 +119,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := applyFaults(spec, *faults); err != nil {
+		log.Fatal(err)
+	}
+	if err := applyFleet(spec, *devices, *placement, *failover, *admit); err != nil {
 		log.Fatal(err)
 	}
 
@@ -285,6 +302,50 @@ func applyFaults(spec *exp.Spec, arg string) error {
 	}
 	for i := range spec.Variants {
 		spec.Variants[i].Faults = fc.Clone()
+	}
+	return nil
+}
+
+// applyFleet overlays the fleet flags on every variant of the resolved spec
+// (DESIGN.md §15). Zero values leave the spec untouched, so fleet experiments
+// (fleet-failover, fleet-shootout) run as declared; -devices 1 explicitly
+// collapses a fleet spec back to single-device runs, clearing the fleet-only
+// options so sim.Normalize accepts the result. A devices axis keeps priority
+// over the flag — the axis overwrites the field per grid cell anyway.
+func applyFleet(spec *exp.Spec, devices int, placement, failover string, admit float64) error {
+	if devices == 0 && placement == "" && failover == "" && admit < 0 {
+		return nil
+	}
+	pl, err := cluster.ParsePlacement(placement)
+	if err != nil {
+		return err
+	}
+	fo, err := rt.ParseFailoverPolicy(failover)
+	if err != nil {
+		return err
+	}
+	for i := range spec.Variants {
+		v := &spec.Variants[i]
+		if devices != 0 {
+			v.Devices = devices
+		}
+		if devices == 1 {
+			v.Placement, v.Failover, v.AdmitCeiling = 0, 0, 0
+			v.Faults = v.Faults.Clone()
+			if v.Faults != nil {
+				v.Faults.DeviceFaults = nil
+			}
+			continue
+		}
+		if placement != "" {
+			v.Placement = pl
+		}
+		if failover != "" {
+			v.Failover = fo
+		}
+		if admit >= 0 {
+			v.AdmitCeiling = admit
+		}
 	}
 	return nil
 }

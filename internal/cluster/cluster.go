@@ -1,0 +1,532 @@
+// Package cluster is the fleet layer (DESIGN.md §15): N gpu.Device instances
+// behind one dispatcher on the single shared des.Engine loop. Each device
+// hosts its own scheduler instance; the dispatcher owns chain placement —
+// every task is homed on exactly one device — and routes releases to the
+// home's scheduler. Pluggable placement policies decide the homes (bin-pack
+// by offline utilization, SGPRS context-fit, load-stealing with a per-chain
+// migration cost), and device-level failure domains make the fleet
+// survivable: a crash aborts the device's resident kernels, drains its
+// queues, and re-places the affected chains under an rt.FailoverPolicy,
+// while an admission controller sheds the lowest-priority chains' releases
+// when surviving capacity falls below a configurable ceiling.
+//
+// Determinism discipline: devices and chains are iterated in admission order
+// (fleet position, task ID) everywhere; crash/restart edges are ordinary
+// seeded engine events; the dispatcher's dedicated RNG stream is forked from
+// the fleet seed so any future randomized policy never perturbs the workload
+// or device cursors. The current policies are draw-free, so a fleet run is a
+// pure function of its configuration.
+package cluster
+
+import (
+	"fmt"
+
+	"sgprs/internal/des"
+	"sgprs/internal/fault"
+	"sgprs/internal/gpu"
+	"sgprs/internal/metrics"
+	"sgprs/internal/rt"
+	"sgprs/internal/sched"
+)
+
+// rngSalt separates the dispatcher's draw stream from every other consumer
+// of the fleet seed. The stream is reserved — the built-in policies are
+// draw-free — so future randomized placement never shifts another cursor.
+const rngSalt = 0xF1EE7
+
+// Placement selects how chains are homed onto fleet devices.
+type Placement int
+
+const (
+	// PlaceBinPack homes each chain (in task order) on the device with the
+	// smallest summed offline load — TotalWorkMS/period over the chains
+	// already homed there — ties to the lowest fleet index.
+	PlaceBinPack Placement = iota
+	// PlaceContextFit homes each chain on the device whose scheduler
+	// contexts are least crowded (chains per context), ties to the lowest
+	// fleet index — the SGPRS-shaped heuristic: context slots, not raw
+	// load, are the admission bottleneck.
+	PlaceContextFit
+	// PlaceLoadSteal starts round-robin and re-homes a chain at release
+	// time when its home device's demand ratio exceeds the least-loaded
+	// survivor's by more than the steal margin, paying the migration cost
+	// and honouring a per-chain cooldown.
+	PlaceLoadSteal
+)
+
+// String names the policy for reports and config round-trips.
+func (p Placement) String() string {
+	switch p {
+	case PlaceBinPack:
+		return "bin-pack"
+	case PlaceContextFit:
+		return "context-fit"
+	case PlaceLoadSteal:
+		return "load-steal"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// ParsePlacement resolves the config-file spelling of a placement policy;
+// the empty string means PlaceBinPack.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "bin-pack", "binpack":
+		return PlaceBinPack, nil
+	case "context-fit":
+		return PlaceContextFit, nil
+	case "load-steal":
+		return PlaceLoadSteal, nil
+	default:
+		return PlaceBinPack, fmt.Errorf("cluster: unknown placement policy %q (want bin-pack, context-fit, or load-steal)", s)
+	}
+}
+
+// Config parameterises the dispatcher. Zero-valued cost knobs take the
+// defaults documented on each field.
+type Config struct {
+	// Placement selects the chain-homing policy.
+	Placement Placement
+	// Failover selects what happens to chains homed on a crashed device;
+	// FailoverDefault means FailoverMigrate.
+	Failover rt.FailoverPolicy
+	// AdmitCeiling, when positive, is the surviving-capacity fraction
+	// below which the admission controller sheds releases: with upFrac =
+	// surviving SMs / total SMs < AdmitCeiling, only the first
+	// ⌈upFrac·N⌉ chains (task order — lowest IDs are highest priority)
+	// keep releasing.
+	AdmitCeiling float64
+	// MigrationBaseMS and MigrationPerStageMS price a chain migration:
+	// base + perStage·stages of blackout while weights and state re-stage
+	// (defaults 5 and 1).
+	MigrationBaseMS     float64
+	MigrationPerStageMS float64
+	// RetryBackoffMS delays the first release delivered to a restarted
+	// origin device under FailoverRetry (default 10).
+	RetryBackoffMS float64
+	// StealMargin is the demand-ratio gap that triggers a load-steal
+	// migration (default 0.5); StealCooldownMS is the per-chain minimum
+	// time between steals (default 100).
+	StealMargin     float64
+	StealCooldownMS float64
+	// Seed feeds the dispatcher's dedicated RNG stream.
+	Seed uint64
+	// DeviceFaults lists the device-level crash/restart events to inject.
+	DeviceFaults []fault.DeviceFault
+}
+
+// Member is one fleet device with its resident scheduler, already attached.
+type Member struct {
+	Dev *gpu.Device
+	Sch sched.Scheduler
+}
+
+// Marker receives fleet-degradation transitions — the metrics collector
+// implements it to attribute released jobs to intervals where at least one
+// device was down.
+type Marker interface {
+	SetFleetDegraded(on bool)
+}
+
+// node is the dispatcher's bookkeeping for one fleet member.
+type node struct {
+	dev *gpu.Device
+	sch sched.Scheduler
+	ev  sched.Evictor
+	up  bool
+}
+
+// Fleet is the dispatcher. It implements sched.Scheduler so the workload
+// generator drives it exactly like a single-device scheduler; it is wired at
+// construction (New), so Attach always errors.
+type Fleet struct {
+	cfg     Config
+	eng     *des.Engine
+	nodes   []*node
+	tasks   []*rt.Task // admission order; IDs are dense [0, len)
+	horizon des.Time
+
+	home     []int      // task ID → fleet index
+	shed     []bool     // task ID → chain permanently shed
+	admitted []bool     // task ID → passes the admission controller
+	blackout []des.Time // task ID → releases before this instant are delayed
+	nextOK   []des.Time // task ID → earliest next load-steal (cooldown)
+
+	// rng is the dispatcher's reserved draw stream (see rngSalt).
+	rng *des.RNG
+
+	marker        Marker
+	downCount     int
+	stats         metrics.FleetStats
+	failoverSumMS float64
+	failoverN     int
+
+	fwdFn func(now des.Time, arg any)
+}
+
+// New builds the dispatcher over the given members and homes every chain.
+// Members' schedulers must already be attached to their devices (placement
+// inspects their contexts) and must implement sched.Evictor — a fleet member
+// that cannot drain on device loss is rejected.
+func New(eng *des.Engine, cfg Config, members []Member, tasks []*rt.Task, horizon des.Time) (*Fleet, error) {
+	if len(members) < 2 {
+		return nil, fmt.Errorf("cluster: fleet needs at least 2 devices, got %d", len(members))
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one task")
+	}
+	if cfg.AdmitCeiling < 0 || cfg.AdmitCeiling > 1 {
+		return nil, fmt.Errorf("cluster: admission ceiling %v outside [0, 1]", cfg.AdmitCeiling)
+	}
+	for i, df := range cfg.DeviceFaults {
+		if df.Device >= len(members) {
+			return nil, fmt.Errorf("cluster: device fault %d targets device %d, fleet has %d", i, df.Device, len(members))
+		}
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		eng:     eng,
+		tasks:   tasks,
+		horizon: horizon,
+		rng:     des.NewRNG(cfg.Seed).Fork(rngSalt),
+	}
+	if f.cfg.MigrationBaseMS == 0 {
+		f.cfg.MigrationBaseMS = 5
+	}
+	if f.cfg.MigrationPerStageMS == 0 {
+		f.cfg.MigrationPerStageMS = 1
+	}
+	if f.cfg.RetryBackoffMS == 0 {
+		f.cfg.RetryBackoffMS = 10
+	}
+	if f.cfg.StealMargin == 0 {
+		f.cfg.StealMargin = 0.5
+	}
+	if f.cfg.StealCooldownMS == 0 {
+		f.cfg.StealCooldownMS = 100
+	}
+	for i, m := range members {
+		ev, ok := m.Sch.(sched.Evictor)
+		if !ok {
+			return nil, fmt.Errorf("cluster: device %d scheduler %q implements no EvictAll", i, m.Sch.Name())
+		}
+		f.nodes = append(f.nodes, &node{dev: m.Dev, sch: m.Sch, ev: ev, up: true})
+	}
+	n := 0
+	for _, t := range tasks {
+		if t.ID < 0 {
+			return nil, fmt.Errorf("cluster: task %s has negative ID", t)
+		}
+		if t.ID+1 > n {
+			n = t.ID + 1
+		}
+	}
+	f.home = make([]int, n)
+	f.shed = make([]bool, n)
+	f.admitted = make([]bool, n)
+	f.blackout = make([]des.Time, n)
+	f.nextOK = make([]des.Time, n)
+	for i := range f.home {
+		f.home[i] = -1
+	}
+	for i, t := range tasks {
+		f.admitted[t.ID] = true
+		f.home[t.ID] = f.place(i, t)
+	}
+	f.fwdFn = func(now des.Time, arg any) { f.OnRelease(arg.(*rt.Job), now) }
+	return f, nil
+}
+
+// place homes task t (the i-th of the admission order) under the configured
+// placement policy. Homes of earlier tasks are already set.
+func (f *Fleet) place(i int, t *rt.Task) int {
+	switch f.cfg.Placement {
+	case PlaceLoadSteal:
+		return i % len(f.nodes)
+	case PlaceContextFit:
+		best, bestFill := 0, 0.0
+		for di, nd := range f.nodes {
+			fill := float64(f.homedCount(di)) / float64(max(1, len(nd.dev.Contexts())))
+			if di == 0 || fill < bestFill {
+				best, bestFill = di, fill
+			}
+		}
+		return best
+	case PlaceBinPack:
+		best, bestW := 0, 0.0
+		for di := range f.nodes {
+			w := f.nodeWeight(di)
+			if di == 0 || w < bestW {
+				best, bestW = di, w
+			}
+		}
+		return best
+	}
+	panic(fmt.Sprintf("cluster: unknown placement %d", int(f.cfg.Placement)))
+}
+
+// taskWeight is a chain's offline load: profiled work per period.
+func taskWeight(t *rt.Task) float64 {
+	ms := t.Period.Milliseconds()
+	if ms <= 0 {
+		return 0
+	}
+	return t.Graph.TotalWorkMS() / ms
+}
+
+// nodeWeight sums the offline load of the live chains homed on device di, in
+// task order — a fixed summation order, so the float result is a pure
+// function of the homing state.
+func (f *Fleet) nodeWeight(di int) float64 {
+	var w float64
+	for _, t := range f.tasks {
+		if f.home[t.ID] == di && !f.shed[t.ID] {
+			w += taskWeight(t)
+		}
+	}
+	return w
+}
+
+// homedCount counts the live chains homed on device di.
+func (f *Fleet) homedCount(di int) int {
+	n := 0
+	for _, t := range f.tasks {
+		if f.home[t.ID] == di && !f.shed[t.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// Name implements sched.Scheduler, delegating to the member schedulers (all
+// members share one configuration, so reports keep the familiar label).
+func (f *Fleet) Name() string { return f.nodes[0].sch.Name() }
+
+// Attach implements sched.Scheduler by rejecting the call: the fleet is
+// wired at construction — members attach to their own devices before New.
+func (f *Fleet) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) error {
+	return fmt.Errorf("cluster: fleet is wired at construction, not via Attach")
+}
+
+// Install schedules the configured device-fault edges and connects the
+// fleet-degradation marker (may be nil). Call once, before the run starts.
+func (f *Fleet) Install(marker Marker) {
+	f.marker = marker
+	for _, df := range f.cfg.DeviceFaults {
+		df := df
+		f.eng.ScheduleFunc(des.FromSeconds(df.StartSec), "cluster.crash", func(now des.Time) {
+			f.crash(df.Device, df.RestartSec, now)
+		})
+		if df.RestartSec > 0 {
+			f.eng.ScheduleFunc(des.FromSeconds(df.RestartSec), "cluster.restart", func(now des.Time) {
+				f.restore(df.Device, now)
+			})
+		}
+	}
+}
+
+// OnRelease implements sched.Scheduler: it routes one released job through
+// shedding, admission, stealing, and blackout to its home device's
+// scheduler. Releases that cannot be served — shed or unadmitted chains,
+// blackouts outlasting the horizon, homes that are down with no plan — are
+// discarded immediately and counted as shed.
+func (f *Fleet) OnRelease(job *rt.Job, now des.Time) {
+	id := job.Task.ID
+	if f.shed[id] || !f.admitted[id] {
+		f.shedRelease(job, now)
+		return
+	}
+	if f.cfg.Placement == PlaceLoadSteal {
+		f.maybeSteal(job.Task, now)
+	}
+	if bl := f.blackout[id]; now < bl {
+		if bl >= f.horizon {
+			f.shedRelease(job, now)
+			return
+		}
+		// Deliver when the blackout lifts; the delay is the visible cost
+		// of migration or restart-wait, paid by the frames it straddles.
+		f.eng.AfterArg(bl-now, "cluster.forward", f.fwdFn, job)
+		return
+	}
+	nd := f.nodes[f.home[id]]
+	if !nd.up {
+		f.shedRelease(job, now)
+		return
+	}
+	nd.sch.OnRelease(job, now)
+}
+
+// shedRelease discards one release the fleet will not serve.
+func (f *Fleet) shedRelease(job *rt.Job, now des.Time) {
+	f.stats.ShedReleases++
+	job.Discard(now)
+}
+
+// maybeSteal re-homes a chain whose home device is overloaded relative to
+// the least-loaded survivor (PlaceLoadSteal), paying the migration cost as a
+// blackout and honouring the per-chain cooldown.
+func (f *Fleet) maybeSteal(t *rt.Task, now des.Time) {
+	id := t.ID
+	if now < f.nextOK[id] {
+		return
+	}
+	hi := f.home[id]
+	if !f.nodes[hi].up {
+		return
+	}
+	best, bestR := -1, 0.0
+	for di, nd := range f.nodes {
+		if !nd.up || di == hi {
+			continue
+		}
+		if r := nd.dev.DemandRatio(); best < 0 || r < bestR {
+			best, bestR = di, r
+		}
+	}
+	if best < 0 || f.nodes[hi].dev.DemandRatio() <= bestR+f.cfg.StealMargin {
+		return
+	}
+	f.migrate(t, best, now)
+	f.nextOK[id] = now.Add(des.FromMillis(f.cfg.StealCooldownMS))
+}
+
+// migrate re-homes chain t onto device di, pricing the move as a blackout.
+func (f *Fleet) migrate(t *rt.Task, di int, now des.Time) {
+	costMS := f.cfg.MigrationBaseMS + f.cfg.MigrationPerStageMS*float64(len(t.Stages))
+	f.home[t.ID] = di
+	f.blackout[t.ID] = now.Add(des.FromMillis(costMS))
+	f.stats.Migrations++
+	f.stats.MigrationCostMS += costMS
+}
+
+// crash takes device di down: its scheduler drains (kernels aborted, queues
+// flushed, live frames discarded) and every chain homed there is re-placed
+// under the failover policy. restartSec is the configured restart instant in
+// seconds (0 = permanent loss), which FailoverRetry turns into a blackout.
+func (f *Fleet) crash(di int, restartSec float64, now des.Time) {
+	nd := f.nodes[di]
+	if !nd.up {
+		return
+	}
+	nd.up = false
+	f.downCount++
+	f.stats.Crashes++
+	if f.downCount == 1 && f.marker != nil {
+		f.marker.SetFleetDegraded(true)
+	}
+	nd.ev.EvictAll(now)
+
+	policy := f.cfg.Failover
+	if policy == rt.FailoverDefault {
+		policy = rt.FailoverMigrate
+	}
+	for _, t := range f.tasks {
+		id := t.ID
+		if f.home[id] != di || f.shed[id] {
+			continue
+		}
+		switch policy {
+		case rt.FailoverMigrate, rt.FailoverDefault: // Default resolved above
+			tgt := f.pickSurvivor()
+			if tgt < 0 {
+				f.shedChain(id)
+				continue
+			}
+			f.migrate(t, tgt, now)
+			f.failoverSumMS += (f.blackout[id] - now).Milliseconds()
+			f.failoverN++
+		case rt.FailoverRetry:
+			if restartSec <= 0 {
+				// Permanent loss: there is no origin to wait for.
+				f.shedChain(id)
+				continue
+			}
+			bl := des.FromSeconds(restartSec).Add(des.FromMillis(f.cfg.RetryBackoffMS))
+			f.blackout[id] = bl
+			f.failoverSumMS += (bl - now).Milliseconds()
+			f.failoverN++
+		case rt.FailoverShed:
+			f.shedChain(id)
+		}
+	}
+	f.recomputeAdmission()
+}
+
+// restore brings device di back up after a crash window.
+func (f *Fleet) restore(di int, now des.Time) {
+	nd := f.nodes[di]
+	if nd.up {
+		return
+	}
+	nd.up = true
+	f.downCount--
+	f.stats.Restarts++
+	if f.downCount == 0 && f.marker != nil {
+		f.marker.SetFleetDegraded(false)
+	}
+	f.recomputeAdmission()
+}
+
+// pickSurvivor returns the least-loaded up device (lowest index ties), or -1
+// when the whole fleet is down.
+func (f *Fleet) pickSurvivor() int {
+	best, bestW := -1, 0.0
+	for di, nd := range f.nodes {
+		if !nd.up {
+			continue
+		}
+		if w := f.nodeWeight(di); best < 0 || w < bestW {
+			best, bestW = di, w
+		}
+	}
+	return best
+}
+
+// shedChain permanently drops a chain: every subsequent release discards.
+func (f *Fleet) shedChain(id int) {
+	f.shed[id] = true
+	f.stats.ShedChains++
+}
+
+// recomputeAdmission re-derives the admission cut from surviving capacity:
+// below the ceiling, only the first ⌈upFrac·N⌉ chains keep releasing.
+func (f *Fleet) recomputeAdmission() {
+	if f.cfg.AdmitCeiling <= 0 {
+		return
+	}
+	upSMs, totalSMs := 0, 0
+	for _, nd := range f.nodes {
+		sms := nd.dev.Config().TotalSMs
+		totalSMs += sms
+		if nd.up {
+			upSMs += sms
+		}
+	}
+	cut := len(f.tasks)
+	if frac := float64(upSMs) / float64(totalSMs); frac < f.cfg.AdmitCeiling {
+		cut = int(frac * float64(len(f.tasks)))
+		if cut < 1 {
+			cut = 1
+		}
+	}
+	for i, t := range f.tasks {
+		f.admitted[t.ID] = i < cut
+	}
+}
+
+// Stats reports the fleet accounting accumulated so far, including each
+// device's utilization at the instant of the call.
+func (f *Fleet) Stats() metrics.FleetStats {
+	s := f.stats
+	s.Devices = len(f.nodes)
+	s.PerDeviceUtilization = make([]float64, len(f.nodes))
+	for i, nd := range f.nodes {
+		s.PerDeviceUtilization[i] = nd.dev.Utilization()
+	}
+	if f.failoverN > 0 {
+		s.FailoverLatencyMeanMS = f.failoverSumMS / float64(f.failoverN)
+	}
+	return s
+}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"os"
 
+	"sgprs/internal/cluster"
 	"sgprs/internal/exp"
 	"sgprs/internal/fault"
+	"sgprs/internal/rt"
 	"sgprs/internal/sim"
 	"sgprs/internal/workload"
 )
@@ -49,6 +51,19 @@ type Experiment struct {
 	// §13); omitted keeps the fault-free dynamics. The block serialises
 	// with fault.Config's own JSON tags.
 	Faults *fault.Config `json:"faults,omitempty"`
+	// Devices sizes the fleet (DESIGN.md §15); 0 or 1 keeps the classic
+	// single-device run. Device-level failure windows ride in the faults
+	// block's device_faults list.
+	Devices int `json:"devices,omitempty"`
+	// Placement is the fleet chain-homing policy: "bin-pack" (default),
+	// "context-fit", or "load-steal". Requires devices > 1.
+	Placement string `json:"placement,omitempty"`
+	// Failover is the device-crash policy: "migrate" (default), "retry",
+	// or "shed". Requires devices > 1.
+	Failover string `json:"failover,omitempty"`
+	// AdmitCeiling load-sheds new releases while surviving fleet capacity
+	// is below this utilization fraction (0 disables admission control).
+	AdmitCeiling float64 `json:"admit_ceiling,omitempty"`
 }
 
 // Arrival is the serialisable arrival-process description; Build translates
@@ -181,6 +196,18 @@ func (e *Experiment) Normalize() error {
 	if err := e.Faults.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
+	if e.Devices < 0 {
+		return fmt.Errorf("config: devices %d must be non-negative", e.Devices)
+	}
+	if _, err := cluster.ParsePlacement(e.Placement); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if _, err := rt.ParseFailoverPolicy(e.Failover); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if e.Devices <= 1 && (e.Placement != "" || e.Failover != "" || e.AdmitCeiling != 0) {
+		return fmt.Errorf("config: placement/failover/admit_ceiling need devices > 1")
+	}
 	return nil
 }
 
@@ -197,6 +224,14 @@ func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
 			return nil, err
 		}
 		arrival = p
+	}
+	placement, err := cluster.ParsePlacement(e.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	failover, err := rt.ParseFailoverPolicy(e.Failover)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
 	}
 	var out []sim.RunConfig
 	for _, v := range e.Variants {
@@ -217,19 +252,23 @@ func (e *Experiment) RunConfigs() ([]sim.RunConfig, error) {
 			pool = sim.ContextPool(np, os, 68)
 		}
 		out = append(out, sim.RunConfig{
-			Kind:       kind,
-			Name:       v.Name,
-			ContextSMs: pool,
-			NumTasks:   1,
-			FPS:        e.FPS,
-			Stages:     e.Stages,
-			Stagger:    e.Stagger,
-			HorizonSec: e.HorizonSec,
-			WarmUpSec:  e.WarmUpSec,
-			Seed:       e.Seed,
-			Arrival:    arrival,
-			SLOMS:      e.SLOMS,
-			Faults:     e.Faults.Clone(),
+			Kind:         kind,
+			Name:         v.Name,
+			ContextSMs:   pool,
+			NumTasks:     1,
+			FPS:          e.FPS,
+			Stages:       e.Stages,
+			Stagger:      e.Stagger,
+			HorizonSec:   e.HorizonSec,
+			WarmUpSec:    e.WarmUpSec,
+			Seed:         e.Seed,
+			Arrival:      arrival,
+			SLOMS:        e.SLOMS,
+			Faults:       e.Faults.Clone(),
+			Devices:      e.Devices,
+			Placement:    placement,
+			Failover:     failover,
+			AdmitCeiling: e.AdmitCeiling,
 		})
 	}
 	return out, nil

@@ -132,10 +132,11 @@ func (c *ctxState) queueLen() int { return c.queue.Len() + c.inFlight }
 
 // Scheduler is an online SGPRS instance. Create with New, wire with Attach.
 type Scheduler struct {
-	cfg  Config
-	eng  *des.Engine
-	dev  *gpu.Device
-	ctxs []*ctxState
+	cfg   Config
+	eng   *des.Engine
+	dev   *gpu.Device
+	ctxs  []*ctxState
+	tasks []*rt.Task // admission-ordered attach set (EvictAll iteration order)
 
 	rrNext int // round-robin cursor (ablation policy)
 
@@ -165,6 +166,12 @@ type Scheduler struct {
 	stateOf    []*ctxState
 	doneFn     func(k *gpu.Kernel, now des.Time)
 	retryFn    func(now des.Time, arg any)
+	// tokenPool recycles the retry tokens backed-off retries travel in. A
+	// token pins the stage pointer together with its job's generation so a
+	// retry that outlives a device-loss drain (EvictAll discarded the job;
+	// the JobPool may already have recycled the struct) detects staleness
+	// at fire time instead of re-enqueuing a foreign frame.
+	tokenPool []*retryToken
 
 	// Stats.
 	promotions uint64
@@ -248,8 +255,9 @@ func (s *Scheduler) Attach(eng *des.Engine, dev *gpu.Device, tasks []*rt.Task) e
 	if s.maxInflight < 1 {
 		s.maxInflight = 1
 	}
+	s.tasks = tasks
 	s.doneFn = s.kernelDone
-	s.retryFn = func(now des.Time, arg any) { s.enqueue(arg.(*rt.StageJob), now) }
+	s.retryFn = s.retryFire
 	for i, sms := range s.cfg.ContextSMs {
 		ctx, err := dev.CreateContext(fmt.Sprintf("cp%d", i), sms)
 		if err != nil {
@@ -545,7 +553,9 @@ func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sche
 		if backoff <= 0 {
 			s.enqueue(st, now)
 		} else {
-			s.eng.AfterArg(backoff, "core.retry", s.retryFn, st)
+			tok := s.getToken()
+			tok.st, tok.gen = st, st.Job.Gen
+			s.eng.AfterArg(backoff, "core.retry", s.retryFn, tok)
 		}
 	case sched.ActionKillChain:
 		// Shed the task's backlog too: a held frame of the faulted task
@@ -562,6 +572,88 @@ func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sche
 		s.jobOver(st.Job.Task.ID, now)
 	}
 	s.dispatch(c, now)
+}
+
+// retryToken carries a backed-off retry through the event queue alongside the
+// generation of the job it belongs to (see Scheduler.tokenPool).
+type retryToken struct {
+	st  *rt.StageJob
+	gen uint64
+}
+
+// getToken pops a retry token from the free list or allocates one.
+func (s *Scheduler) getToken() *retryToken {
+	if n := len(s.tokenPool); n > 0 {
+		tok := s.tokenPool[n-1]
+		s.tokenPool[n-1] = nil
+		s.tokenPool = s.tokenPool[:n-1]
+		return tok
+	}
+	return &retryToken{}
+}
+
+// retryFire is the shared backed-off retry callback. A stale token — the job
+// was discarded, or the struct has since been recycled into a different frame
+// (generation mismatch) — dissolves silently; otherwise the stage re-enters
+// the pipeline through the ordinary enqueue path.
+func (s *Scheduler) retryFire(now des.Time, arg any) {
+	tok := arg.(*retryToken)
+	st, gen := tok.st, tok.gen
+	tok.st = nil
+	s.tokenPool = append(s.tokenPool, tok)
+	if st.Job.Discarded || st.Job.Gen != gen {
+		return
+	}
+	s.enqueue(st, now)
+}
+
+// EvictAll implements sched.Evictor: the device hosting this scheduler was
+// lost (fleet failover, DESIGN.md §15), so every resident kernel is aborted
+// or cancelled, every queue drained, and every live frame discarded. Streams
+// are flushed before their running kernel is evicted so the abort-side pump
+// finds nothing to relaunch. Launch-window kernels (dispatched, not started)
+// are cancelled and deliberately leaked: the detached gpu.launch event still
+// references them, so pooling would let a later stage race the stale start.
+// On return the scheduler is quiescent and can accept releases again after a
+// device restart.
+func (s *Scheduler) EvictAll(now des.Time) {
+	for _, c := range s.ctxs {
+		for _, stream := range c.ctx.Streams() {
+			stream.Flush(func(k *gpu.Kernel) {
+				k.Reset()
+				s.kernelPool = append(s.kernelPool, k)
+			})
+			if k := stream.Running(); k != nil {
+				if k.Running() {
+					s.dev.Abort(k, now)
+					k.Reset()
+					s.kernelPool = append(s.kernelPool, k)
+				} else {
+					s.dev.CancelLaunch(k)
+				}
+			}
+		}
+		for st := c.queue.Pop(); st != nil; st = c.queue.Pop() {
+		}
+		c.pendingWCET = 0
+		c.inFlight = 0
+	}
+	for _, t := range s.tasks {
+		if j := s.active[t.ID]; j != nil {
+			s.active[t.ID] = nil
+			s.inflight--
+			s.dropped++
+			if !j.Discarded {
+				j.Discard(now)
+			}
+		}
+		if h := s.held[t.ID]; h != nil {
+			s.held[t.ID] = nil
+			s.dropped++
+			h.Discard(now)
+		}
+	}
+	s.heldOrder = s.heldOrder[:0]
 }
 
 // jobOver frees a task's pipeline slot and hands freed admission capacity to

@@ -3,7 +3,9 @@ package exp
 import (
 	"fmt"
 
+	"sgprs/internal/cluster"
 	"sgprs/internal/fault"
+	"sgprs/internal/rt"
 	"sgprs/internal/sim"
 	"sgprs/internal/speedup"
 	"sgprs/internal/workload"
@@ -213,5 +215,48 @@ func init() {
 			overrunVariant("spike-1.5x", &fault.Overrun{Model: fault.OverrunSpike, Factor: 1.5, Every: 10}),
 		},
 		Axes: []Axis{Tasks(8, 16, 23, 26)},
+	})
+
+	// Fleet failover (DESIGN.md §15): a 3-device fleet loses device 1
+	// mid-measurement and gets it back 2 s later; each failover policy
+	// against a clean fleet twin, over the load ramp. The admission ceiling
+	// bites while degraded (2/3 surviving capacity < 0.7), so shed releases
+	// and the fleet-degraded DMR separate the policies.
+	fleetVariant := func(name string, fo rt.FailoverPolicy, faulted bool) sim.RunConfig {
+		cfg := sgprs15(name, 3)
+		cfg.Devices = 3
+		cfg.Failover = fo
+		cfg.AdmitCeiling = 0.7
+		if faulted {
+			cfg.Faults = &fault.Config{
+				DeviceFaults: []fault.DeviceFault{{Device: 1, StartSec: 3, RestartSec: 5}},
+			}
+		}
+		return cfg
+	}
+	MustRegister(&Spec{
+		Name:        "fleet-failover",
+		Description: "3-device fleet, device 1 crashes at 3 s and restarts at 5 s: migrate/retry/shed failover vs a clean fleet",
+		Variants: []sim.RunConfig{
+			fleetVariant("fleet-clean", rt.FailoverDefault, false),
+			fleetVariant("fleet-migrate", rt.FailoverMigrate, true),
+			fleetVariant("fleet-retry", rt.FailoverRetry, true),
+			fleetVariant("fleet-shed", rt.FailoverShed, true),
+		},
+		Axes: []Axis{Tasks(12, 24, 36, 48)},
+	})
+
+	// Fleet shootout: placement policies crossed with fleet sizes on a clean
+	// fleet — how much of the single-device pivot survives scale-out, and
+	// which homing heuristic spreads the load best.
+	MustRegister(&Spec{
+		Name:        "fleet-shootout",
+		Description: "placement policies (bin-pack/context-fit/load-steal) across 2/3/4-device fleets at scaling loads",
+		Variants:    []sim.RunConfig{sgprs15("sgprs-fleet", 3)},
+		Axes: []Axis{
+			Devices(2, 3, 4),
+			Placements(cluster.PlaceBinPack, cluster.PlaceContextFit, cluster.PlaceLoadSteal),
+			Tasks(16, 32, 48),
+		},
 	})
 }

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sgprs/internal/cluster"
 	"sgprs/internal/fault"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
@@ -48,6 +49,8 @@ const (
 	AxisArrival
 	AxisFaultRate
 	AxisDegradation
+	AxisDevices
+	AxisPlacement
 )
 
 // Kinds lists every axis kind in declaration order — the facade's
@@ -56,7 +59,7 @@ func Kinds() []AxisKind {
 	return []AxisKind{
 		AxisTasks, AxisOverSub, AxisFPS, AxisJitterMS,
 		AxisWorkVar, AxisHorizonSec, AxisRate, AxisArrival,
-		AxisFaultRate, AxisDegradation,
+		AxisFaultRate, AxisDegradation, AxisDevices, AxisPlacement,
 	}
 }
 
@@ -83,6 +86,10 @@ func (k AxisKind) String() string {
 		return "fault-rate"
 	case AxisDegradation:
 		return "degradation-sms"
+	case AxisDevices:
+		return "devices"
+	case AxisPlacement:
+		return "placement"
 	default:
 		return fmt.Sprintf("axis(%d)", int(k))
 	}
@@ -112,6 +119,10 @@ func (k AxisKind) key() string {
 		return "fr"
 	case AxisDegradation:
 		return "deg"
+	case AxisDevices:
+		return "dev"
+	case AxisPlacement:
+		return "pl"
 	default:
 		return k.String()
 	}
@@ -244,6 +255,27 @@ func DegradationSMs(sms ...int) Axis {
 	return Axis{Kind: AxisDegradation, Values: vs}
 }
 
+// Devices sweeps the fleet size (sets RunConfig.Devices; 1 is the
+// single-device path, larger values run behind the cluster dispatcher).
+func Devices(counts ...int) Axis {
+	vs := make([]float64, len(counts))
+	for i, n := range counts {
+		vs[i] = float64(n)
+	}
+	return Axis{Kind: AxisDevices, Values: vs}
+}
+
+// Placements sweeps the fleet chain-placement policy (fleet runs only; a
+// placement axis crossed with a Devices axis must keep every device count
+// above 1, since single-device runs reject fleet knobs).
+func Placements(policies ...cluster.Placement) Axis {
+	vs := make([]float64, len(policies))
+	for i, p := range policies {
+		vs[i] = float64(p)
+	}
+	return Axis{Kind: AxisPlacement, Values: vs}
+}
+
 // validate checks the axis's value ranges. Variant-dependent constraints
 // (an over-subscription axis needs a context pool to rescale, a rate axis
 // an arrival process) are checked during expansion, where the variant can
@@ -299,6 +331,14 @@ func (a Axis) validate(spec string) error {
 		case AxisDegradation:
 			if v != math.Trunc(v) || v < 1 {
 				bad = "must be an integer SM count >= 1"
+			}
+		case AxisDevices:
+			if v != math.Trunc(v) || v < 1 {
+				bad = "must be an integer device count >= 1"
+			}
+		case AxisPlacement:
+			if v != math.Trunc(v) || v < float64(cluster.PlaceBinPack) || v > float64(cluster.PlaceLoadSteal) {
+				bad = "must be a placement policy (0 bin-pack, 1 context-fit, 2 load-steal)"
 			}
 		default:
 			bad = "unknown axis kind"
@@ -586,6 +626,10 @@ func applyAxis(cfg *sim.RunConfig, a Axis, idx int) error {
 			fc.Degradation[i].SMs = int(a.Values[idx])
 		}
 		cfg.Faults = fc
+	case AxisDevices:
+		cfg.Devices = int(a.Values[idx])
+	case AxisPlacement:
+		cfg.Placement = cluster.Placement(a.Values[idx])
 	default:
 		return fmt.Errorf("cannot apply %s axis", a.Kind)
 	}

@@ -72,6 +72,21 @@ type Window struct {
 	SMs      int     `json:"sms"`
 }
 
+// DeviceFault is one device-level failure domain event: device Device
+// crashes at StartSec and — unless the loss is permanent — restarts at
+// RestartSec. A crash aborts every resident kernel, drains the device's
+// queues, and hands the affected chains to the fleet dispatcher's failover
+// policy (the cluster layer, DESIGN.md §15). Only meaningful on fleet runs
+// (sim.RunConfig.Devices > 1).
+type DeviceFault struct {
+	// Device is the fleet index of the failing device.
+	Device int `json:"device"`
+	// StartSec is the crash instant in simulated seconds.
+	StartSec float64 `json:"start_sec"`
+	// RestartSec is the restart instant; 0 means the loss is permanent.
+	RestartSec float64 `json:"restart_sec,omitempty"`
+}
+
 // Config is the fault-injection configuration of one run. The zero value
 // (all families nil/empty) installs the injection hook but injects nothing —
 // useful for pinning hook placement as bit-identical to no hook at all. A
@@ -88,6 +103,10 @@ type Config struct {
 	// Degradation lists SM-degradation windows; they must be sorted and
 	// non-overlapping.
 	Degradation []Window `json:"degradation,omitempty"`
+	// DeviceFaults lists device-level crash/restart events; they require a
+	// fleet run (sim.RunConfig.Devices > 1), which checks each Device index
+	// against the fleet size.
+	DeviceFaults []DeviceFault `json:"device_faults,omitempty"`
 }
 
 // Validate reports whether the configuration is usable. It never mutates the
@@ -144,6 +163,18 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("fault: degradation windows %d and %d overlap", i-1, i)
 		}
 	}
+	for i, f := range c.DeviceFaults {
+		if f.Device < 0 {
+			return fmt.Errorf("fault: device fault %d device index %d must be non-negative", i, f.Device)
+		}
+		if f.StartSec < 0 {
+			return fmt.Errorf("fault: device fault %d start %v must be non-negative", i, f.StartSec)
+		}
+		if f.RestartSec != 0 && f.RestartSec <= f.StartSec {
+			return fmt.Errorf("fault: device fault %d restart %v must follow crash %v (or be 0 for permanent loss)",
+				i, f.RestartSec, f.StartSec)
+		}
+	}
 	return nil
 }
 
@@ -164,6 +195,9 @@ func (c *Config) Clone() *Config {
 	}
 	if len(c.Degradation) > 0 {
 		out.Degradation = append([]Window(nil), c.Degradation...)
+	}
+	if len(c.DeviceFaults) > 0 {
+		out.DeviceFaults = append([]DeviceFault(nil), c.DeviceFaults...)
 	}
 	return out
 }

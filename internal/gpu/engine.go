@@ -46,6 +46,12 @@ func quantizeCeiling(ceiling float64) int64 {
 // allocation per kernel on both paths.
 func kernelStart(now des.Time, arg any) {
 	k := arg.(*Kernel)
+	// A nil stream means the launch was cancelled while the kernel sat in
+	// its launch-overhead window (Device.CancelLaunch): the detached event
+	// still fires, but the kernel no longer belongs to any device.
+	if k.stream == nil {
+		return
+	}
 	k.stream.ctx.device.start(k, now)
 }
 
@@ -624,4 +630,27 @@ func (d *Device) Abort(k *Kernel, now des.Time) {
 	k.stream = nil
 	d.recompute(now, ctx)
 	d.pump(s)
+}
+
+// CancelLaunch retracts a kernel that pump has dispatched but that has not
+// started executing — it is sitting in its launch-overhead window, with a
+// detached gpu.launch event already in flight. The event cannot be retracted
+// (monotone events are engine-owned), so cancellation detaches the kernel
+// instead: the stream slot is freed and the pending kernelStart finds a nil
+// stream and returns. The caller must treat the kernel as leaked — the
+// in-flight event still references it, so recycling it through a free list
+// would let a later Submit race the stale start. Cancelling a kernel that is
+// already running (use Abort) or not dispatched is a programming error.
+func (d *Device) CancelLaunch(k *Kernel) {
+	if k.started {
+		panic(fmt.Sprintf("gpu: cancel of running kernel %q (use Abort)", k.Label))
+	}
+	if k.stream == nil || k.stream.running != k {
+		panic(fmt.Sprintf("gpu: cancel of undispatched kernel %q", k.Label))
+	}
+	s := k.stream
+	s.running = nil
+	k.stream = nil
+	// Deliberately no pump: cancellation is only used while draining a
+	// stream, and the caller empties the queue in the same pass.
 }

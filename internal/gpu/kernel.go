@@ -257,3 +257,19 @@ func (s *Stream) Submit(k *Kernel) {
 
 // Stream returns the stream the kernel was submitted to (nil before Submit).
 func (k *Kernel) Stream() *Stream { return k.stream }
+
+// Flush detaches every queued (not yet dispatched) kernel from the stream in
+// submission order, handing each to fn with its stream pointer already
+// cleared — the caller owns it again and may Reset and pool it. The running
+// or launch-window kernel, if any, is untouched: evict it with Device.Abort
+// or Device.CancelLaunch. This is the device-loss drain path.
+func (s *Stream) Flush(fn func(*Kernel)) {
+	for i := s.head; i < len(s.queue); i++ {
+		k := s.queue[i]
+		s.queue[i] = nil
+		k.stream = nil
+		fn(k)
+	}
+	s.queue = s.queue[:0]
+	s.head = 0
+}

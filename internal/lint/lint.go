@@ -99,6 +99,7 @@ var simPackages = map[string]bool{
 	"metrics":  true,
 	"workload": true,
 	"fault":    true,
+	"cluster":  true,
 }
 
 // InSimPackage reports whether the pass's package is bound by the

@@ -76,6 +76,16 @@ type Collector struct {
 	degCompletedReleased int
 	degLateCompleted     int
 
+	// Fleet-degraded attribution (cluster layer, DESIGN.md §15): the
+	// dispatcher raises fleetDegraded while at least one device is down,
+	// and releases record the flag in fleetFlags — parallel to resp — so
+	// completions can be judged against the degraded-fleet subset.
+	fleetDegraded        bool
+	fleetFlags           []bool
+	fltReleased          int
+	fltCompletedReleased int
+	fltLateCompleted     int
+
 	// Fast-forward measurement-cycle recording (ff.go): while recording,
 	// every lifecycle call appends an op so Replay can re-apply the cycle's
 	// metric writes over extrapolated cycles.
@@ -112,12 +122,21 @@ func (c *Collector) Reset(warmUp, horizon des.Time) {
 	c.degraded = false
 	c.degFlags = c.degFlags[:0]
 	c.degReleased, c.degCompletedReleased, c.degLateCompleted = 0, 0, 0
+	c.fleetDegraded = false
+	c.fleetFlags = c.fleetFlags[:0]
+	c.fltReleased, c.fltCompletedReleased, c.fltLateCompleted = 0, 0, 0
 }
 
 // SetDegraded flips the degraded-capacity flag; the fault injector calls it
 // at each SM-degradation window edge. Releases while the flag is on are
 // attributed to the degraded subset of the deadline accounting.
 func (c *Collector) SetDegraded(on bool) { c.degraded = on }
+
+// SetFleetDegraded flips the fleet-degraded flag; the cluster dispatcher
+// calls it when the first device goes down and when the last one comes back.
+// Releases while the flag is on are attributed to the degraded-fleet subset
+// of the deadline accounting.
+func (c *Collector) SetFleetDegraded(on bool) { c.fleetDegraded = on }
 
 // SetSLO configures the response-time objective, milliseconds (0 = none),
 // matching EvaluateSLO's parameter. Call after Reset, before the run.
@@ -141,6 +160,10 @@ func (c *Collector) JobReleased(j *rt.Job, now des.Time) {
 		c.degFlags = append(c.degFlags, c.degraded)
 		if c.degraded {
 			c.degReleased++
+		}
+		c.fleetFlags = append(c.fleetFlags, c.fleetDegraded)
+		if c.fleetDegraded {
+			c.fltReleased++
 		}
 	}
 	if c.recording {
@@ -173,6 +196,12 @@ func (c *Collector) JobDone(j *rt.Job, now des.Time) {
 			c.degCompletedReleased++
 			if now > j.Deadline {
 				c.degLateCompleted++
+			}
+		}
+		if j.MetricsSlot < len(c.fleetFlags) && c.fleetFlags[j.MetricsSlot] {
+			c.fltCompletedReleased++
+			if now > j.Deadline {
+				c.fltLateCompleted++
 			}
 		}
 	}
@@ -215,6 +244,12 @@ func (c *Collector) Summary() Summary {
 	s.Faults.DegradedMissed = c.degLateCompleted + (c.degReleased - c.degCompletedReleased)
 	if c.degReleased > 0 {
 		s.Faults.DegradedDMR = float64(s.Faults.DegradedMissed) / float64(c.degReleased)
+	}
+	// Fleet-degraded subset, derived identically.
+	s.Fleet.FleetDegradedReleased = c.fltReleased
+	s.Fleet.FleetDegradedMissed = c.fltLateCompleted + (c.fltReleased - c.fltCompletedReleased)
+	if c.fltReleased > 0 {
+		s.Fleet.FleetDegradedDMR = float64(s.Fleet.FleetDegradedMissed) / float64(c.fltReleased)
 	}
 	// Compact the slots in release order — Evaluate's iteration order —
 	// and count SLO hits over the identical float comparisons.

@@ -64,6 +64,44 @@ type Summary struct {
 	// path never fills it — fault injection is a streaming-only feature —
 	// so the streaming-equivalence invariant is untouched.
 	Faults FaultStats
+
+	// Fleet is the multi-device dispatcher accounting (DESIGN.md §15):
+	// all-zero unless the run configured sim.RunConfig.Devices > 1, so
+	// single-device summaries — and their DeepEqual pins — are untouched.
+	Fleet FleetStats
+}
+
+// FleetStats aggregates what the cluster layer did to a run: the dispatcher
+// fills the placement/failover counters, the collector the fleet-degraded
+// deadline accounting (releases while at least one device was down).
+type FleetStats struct {
+	// Devices is the fleet size (0 on single-device runs).
+	Devices int
+	// PerDeviceUtilization is each device's busy-SM utilization over the
+	// run, indexed by fleet position.
+	PerDeviceUtilization []float64
+	// Crashes and Restarts count device-level failure events; a permanent
+	// loss is a crash with no matching restart.
+	Crashes  int
+	Restarts int
+	// Migrations counts chains re-placed onto a surviving device, and
+	// MigrationCostMS the total re-staging cost they paid.
+	Migrations      int
+	MigrationCostMS float64
+	// ShedChains counts chains permanently dropped by failover or the
+	// admission controller; ShedReleases counts individual releases
+	// discarded while their chain was shed, blacked out, or unadmitted.
+	ShedChains   int
+	ShedReleases int
+	// FailoverLatencyMeanMS is the mean blackout a failed-over chain
+	// experienced (migration cost, or restart wait plus backoff).
+	FailoverLatencyMeanMS float64
+	// FleetDegradedReleased counts in-window released jobs that arrived
+	// while at least one device was down; FleetDegradedMissed and
+	// FleetDegradedDMR judge deadline misses over exactly that subset.
+	FleetDegradedReleased int
+	FleetDegradedMissed   int
+	FleetDegradedDMR      float64
 }
 
 // FaultStats aggregates what the fault-injection layer did to a run: the

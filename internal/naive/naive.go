@@ -210,7 +210,16 @@ func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sche
 		if backoff <= 0 {
 			stream.Submit(k)
 		} else {
+			gen := job.Gen
 			s.eng.AfterFunc(backoff, "naive.retry", func(now des.Time) {
+				// A device-loss drain (EvictAll) may have discarded the
+				// job — and the JobPool may have recycled the struct into
+				// a different frame — while this retry was backed off.
+				if job.Discarded || job.Gen != gen {
+					k.Reset()
+					s.kernelPool = append(s.kernelPool, k)
+					return
+				}
 				stream.Submit(k)
 			})
 		}
@@ -218,6 +227,39 @@ func (s *Scheduler) RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action sche
 		k.Reset()
 		s.kernelPool = append(s.kernelPool, k)
 		job.Discard(now)
+	}
+}
+
+// EvictAll implements sched.Evictor: the device hosting this baseline was
+// lost (fleet failover, DESIGN.md §15). Each partition's FIFO is flushed
+// first — so the abort-side pump finds nothing to relaunch — then the running
+// or launch-window kernel is evicted; every live job is discarded. A
+// launch-window kernel is cancelled and deliberately leaked (the detached
+// gpu.launch event still references it; see gpu.Device.CancelLaunch).
+func (s *Scheduler) EvictAll(now des.Time) {
+	for _, p := range s.parts {
+		p.stream.Flush(func(k *gpu.Kernel) {
+			job := k.Arg.(*rt.Job)
+			k.Reset()
+			s.kernelPool = append(s.kernelPool, k)
+			if !job.Discarded {
+				job.Discard(now)
+			}
+		})
+		if k := p.stream.Running(); k != nil {
+			job := k.Arg.(*rt.Job)
+			if k.Running() {
+				s.dev.Abort(k, now)
+				k.Reset()
+				s.kernelPool = append(s.kernelPool, k)
+			} else {
+				s.dev.CancelLaunch(k)
+			}
+			if !job.Discarded {
+				job.Discard(now)
+			}
+		}
+		p.lastTask = -1
 	}
 }
 

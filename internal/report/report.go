@@ -97,6 +97,7 @@ type Scenario struct {
 func (s *Scenario) metricTables() []string {
 	tables := []string{"total FPS", "DMR", "p99 ms"}
 	dropped, slo, ff, faults, degraded := false, false, false, false, false
+	fleet, fleetDegraded := false, false
 	for _, name := range s.Order {
 		for _, p := range s.Series[name] {
 			dropped = dropped || p.Summary.Dropped > 0
@@ -105,6 +106,9 @@ func (s *Scenario) metricTables() []string {
 			f := p.Summary.Faults
 			faults = faults || f.Overruns > 0 || f.TransientFaults > 0
 			degraded = degraded || f.DegradedReleased > 0
+			fl := p.Summary.Fleet
+			fleet = fleet || fl.Devices > 1
+			fleetDegraded = fleetDegraded || fl.FleetDegradedReleased > 0
 		}
 	}
 	if dropped {
@@ -121,6 +125,12 @@ func (s *Scenario) metricTables() []string {
 	}
 	if degraded {
 		tables = append(tables, "degraded DMR")
+	}
+	if fleet {
+		tables = append(tables, "fleet (crashes/migrations/shed)")
+	}
+	if fleetDegraded {
+		tables = append(tables, "fleet-degraded DMR")
 	}
 	return tables
 }
@@ -171,6 +181,11 @@ func (s *Scenario) WriteText(w io.Writer) error {
 					fmt.Fprintf(tw, "\t%d/%d/%d", f.Overruns, f.TransientFaults, f.Recoveries)
 				case metric == "degraded DMR":
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.Faults.DegradedDMR)
+				case metric == "fleet (crashes/migrations/shed)":
+					fl := p.Summary.Fleet
+					fmt.Fprintf(tw, "\t%d/%d/%d", fl.Crashes, fl.Migrations, fl.ShedReleases)
+				case metric == "fleet-degraded DMR":
+					fmt.Fprintf(tw, "\t%.3f", p.Summary.Fleet.FleetDegradedDMR)
 				default:
 					fmt.Fprintf(tw, "\t%.3f", p.Summary.DMR)
 				}
@@ -204,8 +219,12 @@ func (s *Scenario) WriteText(w io.Writer) error {
 // fast-forward counters (ff_cycles_detected,ff_cycles_skipped), and the
 // fault-injection accounting (overruns,overrun_mass_ms,transient_faults,
 // retries,recoveries,skipped_jobs,killed_chains,degraded_released,
-// degraded_missed,degraded_dmr) — zero for closed-loop, ineligible, or
-// fault-free runs, so the schema is stable across traffic and fault models.
+// degraded_missed,degraded_dmr), and the fleet accounting (devices,
+// device_util — per-device utilizations joined with ';' in fleet-position
+// order — crashes,migrations,shed_releases,failover_ms,fleet_dmr) — zero (or
+// empty, for device_util) on closed-loop, ineligible, fault-free, or
+// single-device runs, so the schema is stable across traffic, fault, and
+// fleet models.
 func (s *Scenario) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
@@ -214,6 +233,7 @@ func (s *Scenario) WriteCSV(w io.Writer) error {
 		"ff_cycles_detected", "ff_cycles_skipped",
 		"overruns", "overrun_mass_ms", "transient_faults", "retries", "recoveries",
 		"skipped_jobs", "killed_chains", "degraded_released", "degraded_missed", "degraded_dmr",
+		"devices", "device_util", "crashes", "migrations", "shed_releases", "failover_ms", "fleet_dmr",
 	}); err != nil {
 		return err
 	}
@@ -246,6 +266,13 @@ func (s *Scenario) WriteCSV(w io.Writer) error {
 				strconv.Itoa(p.Summary.Faults.DegradedReleased),
 				strconv.Itoa(p.Summary.Faults.DegradedMissed),
 				strconv.FormatFloat(p.Summary.Faults.DegradedDMR, 'f', 4, 64),
+				strconv.Itoa(p.Summary.Fleet.Devices),
+				deviceUtil(p.Summary.Fleet.PerDeviceUtilization),
+				strconv.Itoa(p.Summary.Fleet.Crashes),
+				strconv.Itoa(p.Summary.Fleet.Migrations),
+				strconv.Itoa(p.Summary.Fleet.ShedReleases),
+				strconv.FormatFloat(p.Summary.Fleet.FailoverLatencyMeanMS, 'f', 2, 64),
+				strconv.FormatFloat(p.Summary.Fleet.FleetDegradedDMR, 'f', 4, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -254,6 +281,19 @@ func (s *Scenario) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// deviceUtil renders per-device utilizations as one CSV cell, joined with
+// ';' in fleet-position order (empty for single-device runs).
+func deviceUtil(utils []float64) string {
+	out := ""
+	for i, u := range utils {
+		if i > 0 {
+			out += ";"
+		}
+		out += strconv.FormatFloat(u, 'f', 3, 64)
+	}
+	return out
 }
 
 // Figure1Model samples the analytic speedup model into a Figure1 dataset —

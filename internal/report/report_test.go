@@ -179,6 +179,59 @@ func TestScenarioFFTable(t *testing.T) {
 	}
 }
 
+// TestScenarioFleetTable pins the fleet tables' gating (mirroring the fault
+// tables): absent from single-device output, present once any point ran on a
+// fleet, with the fleet-degraded DMR table additionally gated on degraded
+// activity.
+func TestScenarioFleetTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mkScenario().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fleet") {
+		t.Errorf("fleet table rendered for a single-device run:\n%s", buf.String())
+	}
+	s := mkScenario()
+	s.Series["naive"][0].Summary.Fleet = metrics.FleetStats{
+		Devices: 3, PerDeviceUtilization: []float64{0.5, 0.4, 0.6},
+		Crashes: 1, Migrations: 7, ShedReleases: 12,
+		FleetDegradedReleased: 40, FleetDegradedMissed: 10, FleetDegradedDMR: 0.25,
+	}
+	buf.Reset()
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fleet (crashes/migrations/shed):", "1/7/12", "0/0/0", "fleet-degraded DMR:", "0.250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScenarioCSVFleetColumns: a fleet point serialises its device count,
+// ';'-joined per-device utilizations, and failover counters; single-device
+// points keep zero/empty cells so the schema is stable.
+func TestScenarioCSVFleetColumns(t *testing.T) {
+	s := mkScenario()
+	s.Series["naive"][0].Summary.Fleet = metrics.FleetStats{
+		Devices: 3, PerDeviceUtilization: []float64{0.5, 0.4, 0.6},
+		Crashes: 1, Migrations: 7, ShedReleases: 12,
+		FailoverLatencyMeanMS: 4.5, FleetDegradedDMR: 0.25,
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasSuffix(lines[1], ",3,0.500;0.400;0.600,1,7,12,4.50,0.2500") {
+		t.Errorf("fleet row = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",0,,0,0,0,0.00,0.0000") {
+		t.Errorf("single-device row = %q", lines[2])
+	}
+}
+
 func TestScenarioCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := mkScenario().WriteCSV(&buf); err != nil {
@@ -192,7 +245,8 @@ func TestScenarioCSV(t *testing.T) {
 		"dropped,drop_rate,p99_ms,p999_ms,queue_max,queue_mean,slo_hit_rate,"+
 		"ff_cycles_detected,ff_cycles_skipped,"+
 		"overruns,overrun_mass_ms,transient_faults,retries,recoveries,"+
-		"skipped_jobs,killed_chains,degraded_released,degraded_missed,degraded_dmr" {
+		"skipped_jobs,killed_chains,degraded_released,degraded_missed,degraded_dmr,"+
+		"devices,device_util,crashes,migrations,shed_releases,failover_ms,fleet_dmr" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "naive,10,300.0,") {

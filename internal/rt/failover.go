@@ -1,0 +1,60 @@
+package rt
+
+import "fmt"
+
+// FailoverPolicy selects what the fleet dispatcher does with the chains homed
+// on a device that crashes (the cluster layer, DESIGN.md §15). Unlike
+// RecoveryPolicy — which answers for one faulted kernel — failover answers
+// for a whole failure domain: every chain resident on the lost device needs a
+// new plan at once.
+type FailoverPolicy int
+
+const (
+	// FailoverDefault defers to the run-level default (FailoverMigrate).
+	FailoverDefault FailoverPolicy = iota
+	// FailoverMigrate re-places each affected chain on the least-loaded
+	// surviving device, paying a per-chain migration cost (weights and
+	// state re-staged) before releases flow again.
+	FailoverMigrate
+	// FailoverRetry keeps each affected chain homed on the origin device
+	// and blacks it out until the device restarts plus a backoff; a
+	// permanent loss degenerates to shedding the chain.
+	FailoverRetry
+	// FailoverShed drops the affected chains outright — their releases are
+	// discarded until the end of the run (graceful degradation by load
+	// shedding, lowest-index chains kept by the admission controller).
+	FailoverShed
+)
+
+// String names the policy for reports and config round-trips.
+func (p FailoverPolicy) String() string {
+	switch p {
+	case FailoverDefault:
+		return "default"
+	case FailoverMigrate:
+		return "migrate"
+	case FailoverRetry:
+		return "retry"
+	case FailoverShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("failover(%d)", int(p))
+	}
+}
+
+// ParseFailoverPolicy resolves the config-file spelling of a policy; the
+// empty string means FailoverDefault.
+func ParseFailoverPolicy(s string) (FailoverPolicy, error) {
+	switch s {
+	case "", "default":
+		return FailoverDefault, nil
+	case "migrate":
+		return FailoverMigrate, nil
+	case "retry":
+		return FailoverRetry, nil
+	case "shed":
+		return FailoverShed, nil
+	default:
+		return FailoverDefault, fmt.Errorf("rt: unknown failover policy %q (want migrate, retry, or shed)", s)
+	}
+}

@@ -59,6 +59,14 @@ type Job struct {
 	// pooled marks a job that currently sits in a JobPool free list; a
 	// second Put before the next Get is a use-after-recycle bug.
 	pooled bool
+
+	// Gen counts the struct's reincarnations through a JobPool: initJob
+	// increments it each time the struct is (re)initialised as a new
+	// instance. Deferred references — a backed-off retry event holding a
+	// *StageJob across a device-loss drain — capture it alongside the
+	// pointer and compare at fire time, because a recycled struct can look
+	// valid (Discarded reset to false) while belonging to a different frame.
+	Gen uint64
 }
 
 // JobWatcher observes the two ways a job's lifecycle can end. Callbacks run
@@ -112,6 +120,7 @@ func (t *Task) initJob(j *Job, index int, release des.Time) {
 		panic(fmt.Sprintf("rt: NewJob on unprofiled task %s", t))
 	}
 	old := j.Stages[:cap(j.Stages)]
+	gen := j.Gen + 1
 	*j = Job{
 		Task:        t,
 		Index:       index,
@@ -121,6 +130,7 @@ func (t *Task) initJob(j *Job, index int, release des.Time) {
 		MetricsSlot: -1,
 		BacklogSlot: -1,
 		Stages:      old[:0],
+		Gen:         gen,
 	}
 	var cum des.Time
 	for s := range t.Stages {

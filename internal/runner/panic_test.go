@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestRunRecoversPanickingJob(t *testing.T) {
 	if clean[0].Err != nil {
 		t.Fatalf("reference run failed: %v", clean[0].Err)
 	}
-	if results[2].Result != clean[0].Result {
+	if !reflect.DeepEqual(results[2].Result, clean[0].Result) {
 		t.Error("job after a panic differs from a clean run")
 	}
 }

@@ -51,3 +51,14 @@ const (
 type FaultHandler interface {
 	RecoverKernel(k *gpu.Kernel, stream *gpu.Stream, action RecoveryAction, backoff des.Time, now des.Time)
 }
+
+// Evictor is the device-loss drain half of fleet failover (DESIGN.md §15):
+// the whole device disappeared, so the scheduler must abandon everything —
+// abort running kernels, cancel launch-window kernels, flush stream queues,
+// drain its own ready queues, and Discard every live job — leaving itself
+// quiescent (able to accept releases again after a restart). Schedulers that
+// can serve as fleet members implement this; the cluster dispatcher refuses
+// devices whose scheduler does not.
+type Evictor interface {
+	EvictAll(now des.Time)
+}

@@ -82,6 +82,7 @@ func (s *Session) runToHorizon(cfg RunConfig, scheduler sched.Scheduler, gen *wo
 		!cfg.DisableFastForward &&
 		cfg.Observer == nil &&
 		cfg.Faults == nil &&
+		cfg.Devices <= 1 &&
 		cfg.GPU.ContentionJitter == 0
 	switch v := scheduler.(type) {
 	case *core.Scheduler:

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -78,7 +79,7 @@ func TestWorkVariationDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Summary != b.Summary {
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
 		t.Errorf("seeded variation diverged:\n%+v\n%+v", a.Summary, b.Summary)
 	}
 	cfg.Seed = 12
@@ -86,7 +87,7 @@ func TestWorkVariationDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Summary == a.Summary {
+	if reflect.DeepEqual(c.Summary, a.Summary) {
 		t.Error("different seeds produced identical varied runs")
 	}
 }

@@ -43,6 +43,10 @@ type Session struct {
 	prof    *profile.Profiler
 	profCfg gpu.Config
 
+	// fleetDevs caches the extra fleet devices (positions 1..Devices-1;
+	// position 0 is s.dev) across fleet runs, Reset per run like s.dev.
+	fleetDevs []*gpu.Device
+
 	tasks map[taskSetKey][]*rt.Task
 
 	// Fast-forward state (fastforward.go), reused across runs: the
@@ -149,6 +153,10 @@ func (s *Session) Run(cfg RunConfig) (Result, error) {
 				return Result{}, err
 			}
 		}
+	}
+
+	if cfg.Devices > 1 {
+		return s.runFleet(cfg, model, tasks)
 	}
 
 	scheduler, err := buildScheduler(cfg)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sync"
 
+	"sgprs/internal/cluster"
 	"sgprs/internal/core"
 	"sgprs/internal/des"
 	"sgprs/internal/dnn"
@@ -17,6 +18,7 @@ import (
 	"sgprs/internal/metrics"
 	"sgprs/internal/naive"
 	"sgprs/internal/profile"
+	"sgprs/internal/rt"
 	"sgprs/internal/sched"
 	"sgprs/internal/speedup"
 	"sgprs/internal/workload"
@@ -85,6 +87,23 @@ type RunConfig struct {
 	// run is never eligible for steady-state fast-forward.
 	Faults *fault.Config
 
+	// Fleet (DESIGN.md §15): Devices > 1 runs the configuration on that many
+	// identical devices behind a cluster dispatcher — one scheduler instance
+	// per device, chains homed by Placement, device crashes (Faults'
+	// DeviceFaults) survived under Failover with an optional AdmitCeiling
+	// admission controller. Devices 0 or 1 is the single-device path, pinned
+	// bit-identical to the pre-fleet code by the fleet-equivalence tests;
+	// fleet runs are streaming-only and never fast-forward eligible.
+	Devices int
+	// Placement selects the chain-homing policy (fleet runs only).
+	Placement cluster.Placement
+	// Failover selects the device-loss policy (fleet runs only);
+	// rt.FailoverDefault means migrate.
+	Failover rt.FailoverPolicy
+	// AdmitCeiling is the surviving-capacity fraction below which the fleet
+	// sheds the lowest-priority chains' releases (0 disables; fleet only).
+	AdmitCeiling float64
+
 	// Horizon and warm-up, simulated seconds.
 	HorizonSec, WarmUpSec float64
 
@@ -143,6 +162,7 @@ func (c *RunConfig) Normalize() error {
 		{"horizon", c.HorizonSec},
 		{"warm-up", c.WarmUpSec},
 		{"SLO", c.SLOMS},
+		{"admission ceiling", c.AdmitCeiling},
 	} {
 		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
 			return fmt.Errorf("sim: run %q %s %v must be finite", c.Name, f.field, f.v)
@@ -176,6 +196,27 @@ func (c *RunConfig) Normalize() error {
 			return fmt.Errorf("sim: run %q faults: %w", c.Name, err)
 		}
 	}
+	if c.Devices < 0 {
+		return fmt.Errorf("sim: run %q device count %d must be non-negative", c.Name, c.Devices)
+	}
+	if c.Devices <= 1 {
+		// Fleet knobs on a single-device run are a config mistake, not a
+		// no-op: reject rather than silently ignoring them, so the pinned
+		// Devices≤1 path really is the zero-valued one.
+		if c.Placement != 0 || c.Failover != 0 || c.AdmitCeiling != 0 {
+			return fmt.Errorf("sim: run %q sets fleet options (placement/failover/admission ceiling) on a single device; set Devices > 1", c.Name)
+		}
+	} else {
+		if c.Placement < cluster.PlaceBinPack || c.Placement > cluster.PlaceLoadSteal {
+			return fmt.Errorf("sim: run %q unknown placement policy %d", c.Name, int(c.Placement))
+		}
+		if c.Failover < rt.FailoverDefault || c.Failover > rt.FailoverShed {
+			return fmt.Errorf("sim: run %q unknown failover policy %d", c.Name, int(c.Failover))
+		}
+		if c.AdmitCeiling < 0 || c.AdmitCeiling > 1 {
+			return fmt.Errorf("sim: run %q admission ceiling %v outside [0, 1]", c.Name, c.AdmitCeiling)
+		}
+	}
 	if c.FPS == 0 {
 		c.FPS = 30
 	}
@@ -195,6 +236,24 @@ func (c *RunConfig) Normalize() error {
 		g := gpu.DefaultConfig()
 		g.Seed = c.Seed + 1
 		c.GPU = g
+	}
+	// Fault windows are checked against the actual device configuration here
+	// — after GPU defaulting, when the SM count is known — so an impossible
+	// window fails fast as a config error instead of deep inside the run.
+	if c.Faults != nil {
+		for i, w := range c.Faults.Degradation {
+			if w.SMs > c.GPU.TotalSMs {
+				return fmt.Errorf("sim: run %q degradation window %d wants %d SMs, device has %d", c.Name, i, w.SMs, c.GPU.TotalSMs)
+			}
+		}
+		if len(c.Faults.DeviceFaults) > 0 && c.Devices <= 1 {
+			return fmt.Errorf("sim: run %q injects device faults on a single device; set Devices > 1", c.Name)
+		}
+		for i, df := range c.Faults.DeviceFaults {
+			if df.Device >= c.Devices {
+				return fmt.Errorf("sim: run %q device fault %d targets device %d, fleet has %d devices", c.Name, i, df.Device, c.Devices)
+			}
+		}
 	}
 	return nil
 }
@@ -274,6 +333,11 @@ func runBatch(cfg RunConfig, cache *memo.Cache) (Result, error) {
 		// has no equivalent, so it refuses rather than silently dropping
 		// the configuration.
 		return Result{}, fmt.Errorf("sim: run %q: fault injection requires the streaming path", cfg.Name)
+	}
+	if cfg.Devices > 1 {
+		// Fleet runs are likewise streaming-only: the dispatcher feeds the
+		// collector's fleet-degraded attribution at release time.
+		return Result{}, fmt.Errorf("sim: run %q: fleet runs require the streaming path", cfg.Name)
 	}
 	eng := des.NewEngine()
 	model := defaultModel()

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"sgprs/internal/metrics"
@@ -178,7 +179,7 @@ func TestRunDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Summary != b.Summary {
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
 		t.Errorf("same seed diverged:\n%+v\n%+v", a.Summary, b.Summary)
 	}
 }

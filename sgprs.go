@@ -55,9 +55,11 @@ import (
 	"context"
 	"io"
 
+	"sgprs/internal/cluster"
 	"sgprs/internal/exp"
 	"sgprs/internal/memo"
 	"sgprs/internal/metrics"
+	"sgprs/internal/rt"
 	"sgprs/internal/runner"
 	"sgprs/internal/sim"
 	"sgprs/internal/workload"
@@ -84,6 +86,44 @@ const (
 	KindSGPRS = sim.KindSGPRS
 	KindNaive = sim.KindNaive
 )
+
+// Placement selects how a fleet run homes its task chains onto devices
+// (RunConfig.Placement; meaningful only with Devices > 1). See
+// internal/cluster for the policy semantics.
+type Placement = cluster.Placement
+
+// Fleet placement policies.
+const (
+	PlaceBinPack    = cluster.PlaceBinPack
+	PlaceContextFit = cluster.PlaceContextFit
+	PlaceLoadSteal  = cluster.PlaceLoadSteal
+)
+
+// ParsePlacement resolves the config-file spelling of a placement policy
+// ("bin-pack", "context-fit", "load-steal"; empty means bin-pack).
+func ParsePlacement(s string) (Placement, error) { return cluster.ParsePlacement(s) }
+
+// FailoverPolicy selects what happens to chains homed on a crashed fleet
+// device (RunConfig.Failover): migrate with cost, wait for the origin's
+// restart, or shed the chain.
+type FailoverPolicy = rt.FailoverPolicy
+
+// Fleet failover policies. FailoverDefault means FailoverMigrate.
+const (
+	FailoverDefault = rt.FailoverDefault
+	FailoverMigrate = rt.FailoverMigrate
+	FailoverRetry   = rt.FailoverRetry
+	FailoverShed    = rt.FailoverShed
+)
+
+// ParseFailoverPolicy resolves the config-file spelling of a failover policy
+// ("migrate", "retry", "shed"; empty means the default).
+func ParseFailoverPolicy(s string) (FailoverPolicy, error) { return rt.ParseFailoverPolicy(s) }
+
+// FleetStats is the fleet section of a run summary (Summary.Fleet):
+// per-device utilization, crash/restart/migration/shedding counters, and the
+// degraded-fleet deadline accounting. All-zero on single-device runs.
+type FleetStats = metrics.FleetStats
 
 // SweepOptions configures the parallel experiment runner: worker count
 // (default one per CPU), progress callbacks, and per-job seed decorrelation.
@@ -188,14 +228,16 @@ type AxisKind = exp.AxisKind
 
 // Axis kinds, for inspecting or replacing a spec's axes.
 const (
-	AxisTasks   = exp.AxisTasks
-	AxisOverSub = exp.AxisOverSub
-	AxisFPS     = exp.AxisFPS
-	AxisJitter  = exp.AxisJitterMS
-	AxisWorkVar = exp.AxisWorkVar
-	AxisHorizon = exp.AxisHorizonSec
-	AxisRate    = exp.AxisRate
-	AxisArrival = exp.AxisArrival
+	AxisTasks     = exp.AxisTasks
+	AxisOverSub   = exp.AxisOverSub
+	AxisFPS       = exp.AxisFPS
+	AxisJitter    = exp.AxisJitterMS
+	AxisWorkVar   = exp.AxisWorkVar
+	AxisHorizon   = exp.AxisHorizonSec
+	AxisRate      = exp.AxisRate
+	AxisArrival   = exp.AxisArrival
+	AxisDevices   = exp.AxisDevices
+	AxisPlacement = exp.AxisPlacement
 )
 
 // AxisKinds returns every axis kind in declaration order; each stringifies
@@ -230,6 +272,12 @@ func WorkVarAxis(fracs ...float64) ExperimentAxis  { return exp.WorkVar(fracs...
 func HorizonAxis(secs ...float64) ExperimentAxis   { return exp.HorizonSec(secs...) }
 func RateAxis(factors ...float64) ExperimentAxis   { return exp.Rate(factors...) }
 func ArrivalAxis(procs ...Arrival) ExperimentAxis  { return exp.Arrivals(procs...) }
+
+// DevicesAxis sweeps the fleet size (RunConfig.Devices); PlacementAxis
+// sweeps the fleet's chain-homing policy. Both apply to fleet runs
+// (Devices > 1) — a placement axis must not be crossed with device count 1.
+func DevicesAxis(counts ...int) ExperimentAxis           { return exp.Devices(counts...) }
+func PlacementAxis(policies ...Placement) ExperimentAxis { return exp.Placements(policies...) }
 
 // Arrival is a pluggable release-time model: set RunConfig.Arrival to drive
 // a run open-loop (nil keeps the classic closed-loop periodic releases,

@@ -49,7 +49,7 @@ func TestFacadeSession(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("session run %d = %+v, want %+v", i, got, want)
 		}
 	}
